@@ -1,0 +1,51 @@
+//===- bench/BenchCommon.h - Shared harness helpers -----------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/per-table reproduction binaries:
+/// compile a workload under a scheme (checking the pipeline succeeded)
+/// and optionally simulate it on a Table 1 machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_BENCH_BENCHCOMMON_H
+#define FPINT_BENCH_BENCHCOMMON_H
+
+#include "core/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpint {
+namespace bench {
+
+/// Compiles \p W under \p Scheme; aborts loudly on any pipeline error
+/// (the harness must never report numbers from a broken build).
+inline core::PipelineRun compileWorkload(const workloads::Workload &W,
+                                         partition::Scheme Scheme,
+                                         partition::CostParams Costs =
+                                             partition::CostParams()) {
+  core::PipelineConfig Cfg;
+  Cfg.Scheme = Scheme;
+  Cfg.Costs = Costs;
+  Cfg.TrainArgs = W.TrainArgs;
+  Cfg.RefArgs = W.RefArgs;
+  core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
+  if (!Run.ok()) {
+    std::fprintf(stderr, "pipeline failed for %s (%s): %s\n",
+                 W.Name.c_str(), partition::schemeName(Scheme),
+                 Run.Errors.empty() ? "output mismatch"
+                                    : Run.Errors[0].c_str());
+    std::abort();
+  }
+  return Run;
+}
+
+} // namespace bench
+} // namespace fpint
+
+#endif // FPINT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,72 @@
+//===- bench/sec61_cost_sweep.cpp - Section 6.1 cost-parameter sweep ------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.1: "The copy and duplication overheads, o_copy and o_dupl,
+/// were determined empirically. ... o_copy between 3 and 6 and o_dupl
+/// between 1.5 and 3 yield the best results." This harness sweeps the
+/// two parameters over and around those ranges and reports the mean FPa
+/// partition size and mean 4-way speedup across the integer benchmarks,
+/// reproducing the ablation behind the paper's chosen defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Table.h"
+
+using namespace fpint;
+
+int main() {
+  std::printf("Section 6.1: cost-model parameter sweep "
+              "(advanced scheme, 4-way)\n\n");
+  timing::MachineConfig Machine = timing::MachineConfig::fourWay();
+  timing::MachineConfig Conventional = Machine;
+  Conventional.FpaEnabled = false;
+
+  // Conventional baselines are parameter independent; compute once.
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
+  std::vector<uint64_t> ConvCycles;
+  for (const workloads::Workload &W : Ws) {
+    core::PipelineRun Conv =
+        bench::compileWorkload(W, partition::Scheme::None);
+    ConvCycles.push_back(core::simulate(Conv, Conventional).Cycles);
+  }
+
+  const double CopySweep[] = {1.5, 3.0, 4.0, 6.0, 9.0};
+  const double DupSweep[] = {1.0, 2.5, 5.0};
+
+  Table T({"o_copy", "o_dupl", "mean offload", "mean speedup",
+           "mean copy+dup ovh"});
+  for (double OCopy : CopySweep) {
+    for (double ODup : DupSweep) {
+      if (ODup >= OCopy)
+        continue; // The paper requires o_dupl < o_copy.
+      partition::CostParams P;
+      P.CopyOverhead = OCopy;
+      P.DupOverhead = ODup;
+      double SumOffload = 0, SumSpeedup = 0, SumOvh = 0;
+      for (size_t I = 0; I < Ws.size(); ++I) {
+        core::PipelineRun Adv =
+            bench::compileWorkload(Ws[I], partition::Scheme::Advanced, P);
+        timing::SimStats S = core::simulate(Adv, Machine);
+        SumOffload += Adv.Stats.fpaFraction();
+        SumSpeedup += static_cast<double>(ConvCycles[I]) /
+                          static_cast<double>(S.Cycles) -
+                      1.0;
+        SumOvh += Adv.Stats.copyFraction() + Adv.Stats.dupFraction();
+      }
+      double N = static_cast<double>(Ws.size());
+      T.addRow({Table::fmt(OCopy, 1), Table::fmt(ODup, 1),
+                Table::pct(SumOffload / N), Table::pct(SumSpeedup / N),
+                Table::pct(SumOvh / N)});
+    }
+  }
+  T.print();
+  std::printf("\nPaper: best results with o_copy in [3,6] and o_dupl in "
+              "[1.5,3]; too-small\noverheads admit unprofitable copies, "
+              "too-large ones forgo profitable offloads.\n");
+  return 0;
+}

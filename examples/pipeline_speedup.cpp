@@ -1,0 +1,83 @@
+//===- examples/pipeline_speedup.cpp - End-to-end workload walkthrough ----===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end walkthrough for one benchmark (default: m88ksim, the
+/// paper's best case; pass another Table 2 name as argv[1]): compile
+/// under all three schemes, simulate on both Table 1 machines, and
+/// print the full measurement record -- offload percentages, overheads,
+/// cycle counts, IPCs, branch/cache statistics, and speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace fpint;
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "m88ksim";
+  workloads::Workload W = workloads::workloadByName(Name);
+  std::printf("workload: %s -- %s\ninput: %s\n\n", W.Name.c_str(),
+              W.Description.c_str(), W.Input.c_str());
+
+  timing::MachineConfig Four = timing::MachineConfig::fourWay();
+  timing::MachineConfig Eight = timing::MachineConfig::eightWay();
+  timing::MachineConfig FourConv = Four;
+  FourConv.FpaEnabled = false;
+  timing::MachineConfig EightConv = Eight;
+  EightConv.FpaEnabled = false;
+
+  Table T({"scheme", "offload", "ovh", "4-way cycles", "4-way IPC",
+           "8-way cycles", "br acc", "dcache miss"});
+
+  uint64_t Conv4 = 0, Conv8 = 0;
+  for (partition::Scheme S :
+       {partition::Scheme::None, partition::Scheme::Basic,
+        partition::Scheme::Advanced}) {
+    core::PipelineConfig Cfg;
+    Cfg.Scheme = S;
+    Cfg.TrainArgs = W.TrainArgs;
+    Cfg.RefArgs = W.RefArgs;
+    core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
+    if (!Run.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   Run.Errors.empty() ? "output mismatch"
+                                      : Run.Errors[0].c_str());
+      return 1;
+    }
+    bool Conventional = S == partition::Scheme::None;
+    timing::SimStats S4 =
+        core::simulate(Run, Conventional ? FourConv : Four);
+    timing::SimStats S8 =
+        core::simulate(Run, Conventional ? EightConv : Eight);
+    if (Conventional) {
+      Conv4 = S4.Cycles;
+      Conv8 = S8.Cycles;
+    }
+    double DMiss = S4.Loads ? static_cast<double>(S4.DCacheMisses) /
+                                  static_cast<double>(S4.Loads)
+                            : 0.0;
+    T.addRow({partition::schemeName(S), Table::pct(Run.Stats.fpaFraction()),
+              Table::pct(Run.Stats.copyFraction() + Run.Stats.dupFraction()),
+              Table::num(S4.Cycles), Table::fmt(S4.ipc()),
+              Table::num(S8.Cycles), Table::pct(S4.branchAccuracy()),
+              Table::pct(DMiss)});
+    if (!Conventional) {
+      std::printf("%s speedup: %.1f%% (4-way), %.1f%% (8-way)\n",
+                  partition::schemeName(S),
+                  100.0 * (static_cast<double>(Conv4) / S4.Cycles - 1.0),
+                  100.0 * (static_cast<double>(Conv8) / S8.Cycles - 1.0));
+    }
+  }
+  std::printf("\n");
+  T.print();
+  return 0;
+}

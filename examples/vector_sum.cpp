@@ -1,0 +1,101 @@
+//===- examples/vector_sum.cpp - The paper's Figure 2 example -------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper opens with a vector sum (Figure 2): for floating-point
+/// data, the loads, the add, and the store already use the FP subsystem;
+/// for integer data the FP subsystem idles -- unless the compiler
+/// offloads the add. This example shows both variants side by side: the
+/// integer vector sum before and after basic partitioning, with the
+/// loads/stores switching to their l.s/s.s forms and the add gaining
+/// the ",a" suffix, exactly as in the paper's narrative.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "sir/Parser.h"
+#include "sir/Printer.h"
+
+#include <cstdio>
+
+using namespace fpint;
+
+namespace {
+
+const char *IntSum = R"(
+global a 64
+global b 64
+global c 64
+
+func main() {
+entry:
+  li %i, 0
+  li %n, 64
+  la %pa, a
+  la %pb, b
+  la %pc, c
+seed:
+  sll %off0, %i, 2
+  add %ea0, %pa, %off0
+  sw %i, 0(%ea0)
+  sll %tw, %i, 1
+  add %eb0, %pb, %off0
+  sw %tw, 0(%eb0)
+  addi %i, %i, 1
+  slt %t0, %i, %n
+  bne %t0, %zero, seed
+  li %j, 0
+loop:
+  sll %off, %j, 2
+  add %ea, %pa, %off
+  lw %va, 0(%ea)
+  add %eb, %pb, %off
+  lw %vb, 0(%eb)
+  add %vc, %va, %vb
+  add %ec, %pc, %off
+  sw %vc, 0(%ec)
+  addi %j, %j, 1
+  slt %t, %j, %n
+  bne %t, %zero, loop
+  lw %chk, c+84
+  out %chk
+  ret
+}
+)";
+
+} // namespace
+
+int main() {
+  sir::ParseResult PR = sir::parseModule(IntSum);
+  if (!PR.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
+    return 1;
+  }
+
+  std::printf("=== integer vector sum, conventional code ===\n%s\n",
+              sir::toString(*PR.M).c_str());
+
+  core::PipelineConfig Cfg;
+  Cfg.Scheme = partition::Scheme::Basic;
+  Cfg.RunRegisterAllocation = false; // Keep virtual registers readable.
+  core::PipelineRun Run = core::compileAndMeasure(*PR.M, Cfg);
+  if (!Run.ok()) {
+    std::fprintf(stderr, "pipeline failed\n");
+    return 1;
+  }
+
+  std::printf("=== after basic partitioning (no extra instructions) ===\n"
+              "%s\n",
+              sir::toString(*Run.Compiled).c_str());
+  std::printf("The c[i] = a[i] + b[i] add now executes in the FP subsystem "
+              "(add,a), its\ninputs arrive via l.s loads and its result "
+              "leaves via an s.s store -- the\npaper's Figure 2 "
+              "transformation. %.1f%% of dynamic instructions offloaded;\n"
+              "outputs match: %s.\n",
+              100.0 * Run.Stats.fpaFraction(),
+              Run.OutputsMatchOriginal ? "yes" : "NO");
+  return 0;
+}

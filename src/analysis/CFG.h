@@ -1,0 +1,81 @@
+//===- analysis/CFG.h - Control-flow graph utilities ----------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow analyses: predecessor/successor lists,
+/// reverse post order, iterative dominators, natural-loop detection, and
+/// loop nesting depth. Loop depth feeds the paper's static execution
+/// estimate n_B = p_B * 5^(d_B) used when no profile covers a function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_ANALYSIS_CFG_H
+#define FPINT_ANALYSIS_CFG_H
+
+#include "sir/IR.h"
+
+#include <vector>
+
+namespace fpint {
+namespace analysis {
+
+/// Control-flow facts about one function. Block identity is the layout
+/// index (BasicBlock::index()), so the function must be renumbered.
+class CFG {
+public:
+  explicit CFG(const sir::Function &F);
+
+  const sir::Function &function() const { return F; }
+  unsigned numBlocks() const { return static_cast<unsigned>(Succs.size()); }
+
+  const std::vector<unsigned> &successors(unsigned Block) const {
+    return Succs[Block];
+  }
+  const std::vector<unsigned> &predecessors(unsigned Block) const {
+    return Preds[Block];
+  }
+
+  /// Blocks in reverse post order (entry first); unreachable blocks are
+  /// appended after the reachable ones in layout order.
+  const std::vector<unsigned> &reversePostOrder() const { return Rpo; }
+
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+  /// Immediate dominator of \p Block (its own index for the entry block;
+  /// entry index for unreachable blocks).
+  unsigned idom(unsigned Block) const { return Idom[Block]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// True if the edge From -> To is a back edge (To dominates From).
+  bool isBackEdge(unsigned From, unsigned To) const;
+
+  /// Loop nesting depth of \p Block (0 = not in any natural loop).
+  unsigned loopDepth(unsigned Block) const { return LoopDepth[Block]; }
+
+  /// Loop headers discovered (targets of back edges), for tests.
+  const std::vector<unsigned> &loopHeaders() const { return Headers; }
+
+private:
+  void computeDominators();
+  void computeLoops();
+
+  const sir::Function &F;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+  std::vector<unsigned> Rpo;
+  std::vector<bool> Reachable;
+  std::vector<unsigned> Idom;
+  std::vector<unsigned> RpoNumber;
+  std::vector<unsigned> LoopDepth;
+  std::vector<unsigned> Headers;
+};
+
+} // namespace analysis
+} // namespace fpint
+
+#endif // FPINT_ANALYSIS_CFG_H

@@ -1,0 +1,148 @@
+//===- analysis/ReachingDefs.cpp - Reaching-definitions dataflow ----------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace fpint;
+using namespace fpint::analysis;
+using sir::Instruction;
+using sir::Reg;
+
+namespace {
+
+/// Minimal bit vector for dataflow sets.
+class BitVec {
+public:
+  explicit BitVec(unsigned Bits = 0) : Words((Bits + 63) / 64, 0) {}
+
+  void set(unsigned I) { Words[I / 64] |= (1ULL << (I % 64)); }
+  void reset(unsigned I) { Words[I / 64] &= ~(1ULL << (I % 64)); }
+  bool test(unsigned I) const { return Words[I / 64] & (1ULL << (I % 64)); }
+
+  /// this |= Other; returns true if anything changed.
+  bool orWith(const BitVec &Other) {
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | Other.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
+
+  /// this = (this & ~Kill) | Gen.
+  void transfer(const BitVec &Gen, const BitVec &Kill) {
+    for (size_t W = 0; W < Words.size(); ++W)
+      Words[W] = (Words[W] & ~Kill.Words[W]) | Gen.Words[W];
+  }
+
+  bool operator==(const BitVec &Other) const { return Words == Other.Words; }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const sir::Function &F, const CFG &Cfg) {
+  // Enumerate def sites: formals first (entry definitions), then every
+  // instruction def in layout order.
+  std::unordered_map<uint32_t, std::vector<unsigned>> DefsOfReg;
+  for (Reg Formal : F.formals()) {
+    DefsOfReg[Formal.id()].push_back(static_cast<unsigned>(Defs.size()));
+    Defs.push_back(DefSite{nullptr, Formal});
+  }
+  std::unordered_map<const Instruction *, unsigned> DefIdxOf;
+  F.forEachInstr([&](const Instruction &I) {
+    if (!I.def().isValid())
+      return;
+    DefIdxOf[&I] = static_cast<unsigned>(Defs.size());
+    DefsOfReg[I.def().id()].push_back(static_cast<unsigned>(Defs.size()));
+    Defs.push_back(DefSite{&I, I.def()});
+  });
+
+  const unsigned NumDefs = static_cast<unsigned>(Defs.size());
+  const unsigned NumBlocks = Cfg.numBlocks();
+
+  // GEN/KILL per block.
+  std::vector<BitVec> Gen(NumBlocks, BitVec(NumDefs));
+  std::vector<BitVec> Kill(NumBlocks, BitVec(NumDefs));
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    // Last definition of each register within the block wins.
+    std::unordered_map<uint32_t, unsigned> LastDef;
+    for (const auto &I : F.blocks()[B]->instructions())
+      if (I->def().isValid())
+        LastDef[I->def().id()] = DefIdxOf[I.get()];
+    for (const auto &[RegId, DefIdx] : LastDef) {
+      Gen[B].set(DefIdx);
+      for (unsigned Other : DefsOfReg[RegId])
+        if (Other != DefIdx)
+          Kill[B].set(Other);
+      // A block that defines a register also kills the def it generates
+      // from the *incoming* perspective of other defs only; the
+      // generated def survives by the (IN - KILL) | GEN transfer.
+    }
+    // Defs of registers redefined later in the same block never leave
+    // the block, which the LastDef map already captures.
+  }
+
+  // Entry IN: formal-parameter definitions.
+  std::vector<BitVec> In(NumBlocks, BitVec(NumDefs));
+  std::vector<BitVec> Out(NumBlocks, BitVec(NumDefs));
+  BitVec EntryIn(NumDefs);
+  for (unsigned D = 0; D < F.formals().size(); ++D)
+    EntryIn.set(D);
+  if (NumBlocks > 0)
+    In[0] = EntryIn;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : Cfg.reversePostOrder()) {
+      BitVec NewIn = B == 0 ? EntryIn : BitVec(NumDefs);
+      for (unsigned P : Cfg.predecessors(B))
+        NewIn.orWith(Out[P]);
+      BitVec NewOut = NewIn;
+      NewOut.transfer(Gen[B], Kill[B]);
+      if (!(NewIn == In[B]) || !(NewOut == Out[B])) {
+        In[B] = NewIn;
+        Out[B] = NewOut;
+        Changed = true;
+      }
+    }
+  }
+
+  // Walk each block, tracking the current reaching set precisely, and
+  // record def -> use edges.
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    BitVec Cur = In[B];
+    for (const auto &I : F.blocks()[B]->instructions()) {
+      I->forEachUse([&](Reg R, sir::UseKind Kind) {
+        unsigned UseIdx = static_cast<unsigned>(Uses.size());
+        Uses.push_back(UseSite{I.get(), R, Kind});
+        auto It = DefsOfReg.find(R.id());
+        if (It == DefsOfReg.end())
+          return; // Never defined: reads as zero.
+        for (unsigned D : It->second)
+          if (Cur.test(D))
+            Edges.emplace_back(D, UseIdx);
+      });
+      if (I->def().isValid()) {
+        for (unsigned D : DefsOfReg[I->def().id()])
+          Cur.reset(D);
+        Cur.set(DefIdxOf[I.get()]);
+      }
+    }
+  }
+}
+
+std::vector<unsigned> ReachingDefs::reachingDefsOf(unsigned UseIdx) const {
+  std::vector<unsigned> Result;
+  for (const auto &[D, U] : Edges)
+    if (U == UseIdx)
+      Result.push_back(D);
+  return Result;
+}

@@ -1,0 +1,68 @@
+//===- analysis/ReachingDefs.h - Reaching-definitions dataflow ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic reaching-definitions bitvector dataflow over a function. The
+/// register dependence graph (Section 3 of the paper) draws an edge from
+/// instruction i to instruction j whenever i produces a value that j may
+/// consume; those edges are exactly the def-use pairs this analysis
+/// computes. Formal parameters act as definitions at function entry
+/// (the paper's "dummy nodes").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_ANALYSIS_REACHINGDEFS_H
+#define FPINT_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/CFG.h"
+#include "sir/IR.h"
+
+#include <vector>
+
+namespace fpint {
+namespace analysis {
+
+/// A definition site: either an instruction's def, or (when I is null) a
+/// formal parameter defined at function entry.
+struct DefSite {
+  const sir::Instruction *I = nullptr;
+  sir::Reg R;
+};
+
+/// A use site: one register operand of an instruction, tagged with its
+/// RDG role (plain operand, address input, or stored value).
+struct UseSite {
+  const sir::Instruction *I = nullptr;
+  sir::Reg R;
+  sir::UseKind Kind = sir::UseKind::Plain;
+};
+
+/// Reaching definitions for one (renumbered) function.
+class ReachingDefs {
+public:
+  ReachingDefs(const sir::Function &F, const CFG &Cfg);
+
+  const std::vector<DefSite> &defSites() const { return Defs; }
+  const std::vector<UseSite> &useSites() const { return Uses; }
+
+  /// Def-use pairs as (def site index, use site index).
+  const std::vector<std::pair<unsigned, unsigned>> &edges() const {
+    return Edges;
+  }
+
+  /// Indices of the reaching def sites for use site \p UseIdx.
+  std::vector<unsigned> reachingDefsOf(unsigned UseIdx) const;
+
+private:
+  std::vector<DefSite> Defs;
+  std::vector<UseSite> Uses;
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+};
+
+} // namespace analysis
+} // namespace fpint
+
+#endif // FPINT_ANALYSIS_REACHINGDEFS_H

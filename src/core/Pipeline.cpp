@@ -1,0 +1,96 @@
+//===- core/Pipeline.cpp - End-to-end offload pipeline --------------------===//
+
+#include "core/Pipeline.h"
+
+#include "sir/Verifier.h"
+
+using namespace fpint;
+using namespace fpint::core;
+
+PipelineRun core::compileAndMeasure(const sir::Module &Original,
+                                    PipelineConfig Config) {
+  PipelineRun Run;
+  Run.Config = Config;
+  Run.Compiled = Original.clone();
+  sir::Module &M = *Run.Compiled;
+
+  // 0. Machine-independent cleanup: the paper partitions optimized
+  // code ("after all the initial machine-independent optimizations").
+  if (Config.RunOptimizations)
+    Run.Opt = opt::optimizeModule(M);
+
+  // 1. Training profile of the unpartitioned program (the clone shares
+  // no blocks with the original, so profile the clone itself before it
+  // is rewritten).
+  vm::VM::Options ProfOpts;
+  ProfOpts.CollectProfile = true;
+  vm::VM Trainer(M, ProfOpts);
+  auto TrainResult = Trainer.run(Config.TrainArgs);
+  if (!TrainResult.Ok) {
+    Run.Errors.push_back("training run failed: " + TrainResult.Error);
+    return Run;
+  }
+
+  // 2. Partition.
+  Run.Rewrite = partition::partitionModule(M, Config.Scheme,
+                                           &Trainer.profile(), Config.Costs);
+  for (const std::string &E : Run.Rewrite.Errors)
+    Run.Errors.push_back("partition: " + E);
+
+  // 2b. Optional Section 6.6 interprocedural extension.
+  if (Config.EnableFpArgPassing && Config.Scheme == partition::Scheme::Advanced)
+    Run.FpArgs = partition::passArgsInFpRegisters(M, Run.Rewrite);
+
+  // 3. Register allocation.
+  if (Config.RunRegisterAllocation) {
+    Run.Alloc = regalloc::allocateModule(M);
+    for (const std::string &E : Run.Alloc.Errors)
+      Run.Errors.push_back("regalloc: " + E);
+  }
+
+  for (const std::string &E : sir::verify(M))
+    Run.Errors.push_back("verify: " + E);
+  if (!Run.Errors.empty())
+    return Run;
+
+  // 4. Functional equivalence on the measurement input, collecting the
+  // measurement profile in the same run.
+  vm::VM::Options MeasureOpts;
+  MeasureOpts.CollectProfile = true;
+  vm::VM Measurer(M, MeasureOpts);
+  Run.RefResult = Measurer.run(Config.RefArgs);
+  if (!Run.RefResult.Ok) {
+    Run.Errors.push_back("measurement run failed: " + Run.RefResult.Error);
+    return Run;
+  }
+  auto OriginalRun = vm::runModule(Original, Config.RefArgs);
+  if (!OriginalRun.Ok) {
+    Run.Errors.push_back("original run failed: " + OriginalRun.Error);
+    return Run;
+  }
+  Run.OutputsMatchOriginal = OriginalRun.Output == Run.RefResult.Output;
+  if (!Run.OutputsMatchOriginal)
+    Run.Errors.push_back("compiled program output diverged from original");
+
+  // 5. Dynamic accounting (Figure 8 / Section 7.2 metrics).
+  Run.Stats =
+      partition::computeDynStats(M, Measurer.profile(), &Run.Rewrite);
+  return Run;
+}
+
+timing::SimStats core::simulate(const PipelineRun &Run,
+                                const timing::MachineConfig &Machine) {
+  assert(Run.ok() && "simulating a failed pipeline run");
+  assert(Run.Config.RunRegisterAllocation &&
+         "timing simulation needs register-allocated code");
+  return timing::simulateModule(*Run.Compiled, Run.Alloc, Machine,
+                                Run.Config.RefArgs);
+}
+
+double core::speedup(const timing::SimStats &Conventional,
+                     const timing::SimStats &Partitioned) {
+  if (Partitioned.Cycles == 0)
+    return 0.0;
+  return static_cast<double>(Conventional.Cycles) /
+         static_cast<double>(Partitioned.Cycles);
+}

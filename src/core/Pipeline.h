@@ -1,0 +1,92 @@
+//===- core/Pipeline.h - End-to-end offload pipeline ----------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point tying the whole reproduction together, in the
+/// paper's methodology:
+///
+///   1. profile the original program on a training input (basic-block
+///      execution counts);
+///   2. partition it with the basic or advanced scheme (or leave it
+///      conventional);
+///   3. allocate registers (FPa operands get FP registers);
+///   4. check the compiled program against the original on the
+///      measurement input (the reproduction's correctness oracle);
+///   5. measure partition statistics (Figure 8 / Section 7.2) and, on
+///      demand, simulate cycle-level timing against a Table 1 machine
+///      (Figures 9 and 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_CORE_PIPELINE_H
+#define FPINT_CORE_PIPELINE_H
+
+#include "opt/Passes.h"
+#include "partition/FpArgPassing.h"
+#include "partition/Partitioner.h"
+#include "regalloc/RegAlloc.h"
+#include "sir/IR.h"
+#include "timing/MachineConfig.h"
+#include "timing/Simulator.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fpint {
+namespace core {
+
+struct PipelineConfig {
+  partition::Scheme Scheme = partition::Scheme::Advanced;
+  partition::CostParams Costs;
+  std::vector<int32_t> TrainArgs; ///< main() args for the profiling run.
+  std::vector<int32_t> RefArgs;   ///< main() args for measurement runs.
+  bool RunRegisterAllocation = true;
+  /// Section 6.6 interprocedural extension: pass integer arguments in
+  /// FP registers where that removes copy round-trips (advanced scheme
+  /// only).
+  bool EnableFpArgPassing = false;
+  /// Run the machine-independent optimizer before profiling and
+  /// partitioning (the paper partitions after "-O3"-level cleanup).
+  bool RunOptimizations = true;
+};
+
+/// A compiled (partitioned + allocated) program with its measurements.
+struct PipelineRun {
+  std::unique_ptr<sir::Module> Compiled;
+  regalloc::ModuleAlloc Alloc;
+  partition::ModuleRewrite Rewrite;
+  partition::FpArgReport FpArgs; ///< 6.6 extension results (if enabled).
+  opt::OptReport Opt;            ///< Pre-partitioning cleanup results.
+  partition::DynStats Stats;  ///< Dynamic accounting on the ref input.
+  vm::VM::Result RefResult;   ///< Functional run on the ref input.
+  bool OutputsMatchOriginal = false;
+  std::vector<std::string> Errors;
+  PipelineConfig Config;
+
+  bool ok() const { return Errors.empty() && OutputsMatchOriginal; }
+};
+
+/// Compiles \p Original per \p Config and measures it functionally.
+/// \p Original is not modified.
+PipelineRun compileAndMeasure(const sir::Module &Original,
+                              PipelineConfig Config);
+
+/// Traces the compiled program on the ref input and simulates it on
+/// \p Machine.
+timing::SimStats simulate(const PipelineRun &Run,
+                          const timing::MachineConfig &Machine);
+
+/// Convenience for the benchmark harness: speedup of \p Partitioned over
+/// \p Conventional (cycles ratio).
+double speedup(const timing::SimStats &Conventional,
+               const timing::SimStats &Partitioned);
+
+} // namespace core
+} // namespace fpint
+
+#endif // FPINT_CORE_PIPELINE_H

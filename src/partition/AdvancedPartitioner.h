@@ -1,0 +1,58 @@
+//===- partition/AdvancedPartitioner.h - The paper's advanced scheme ------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The advanced partitioning scheme of Section 6. Starting from an INT
+/// partition containing the LdSt slice (and the backward closures of
+/// everything FPa cannot execute), the algorithm:
+///
+///  Phase 1 expands the INT boundary: for each candidate FPa node u, it
+///  evaluates the loss of moving u's FPa backward slice P into INT,
+///      loss = sum over v in P of [n_v + alpha(v)]  (or -copying_cost(v)
+///             when v produces a call argument / return value)
+///           + sum over boundary parents q of delta(q),
+///  where alpha(v) charges a copy if v still has FPa children outside P
+///  and delta(q) credits the removal of q's copy/duplicate when all its
+///  FPa children sit inside P. Negative loss means moving P to INT is a
+///  net gain, zero defers the decision to u's children.
+///
+///  Phase 2 tentatively inserts copies and duplicates for the boundary
+///  (choosing per the Section 6.2 prepass), then evaluates
+///  Profit = Benefit - Overhead per connected component of the
+///  disconnected undirected RDG and evicts unprofitable components.
+///
+///  Calling conventions (Section 6.4): call arguments and return values
+///  start in FPa; if their producers stay there, a cp_to_int copy-back
+///  is charged and inserted -- the only FPa-to-INT communication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_ADVANCEDPARTITIONER_H
+#define FPINT_PARTITION_ADVANCEDPARTITIONER_H
+
+#include "analysis/ExecutionEstimate.h"
+#include "partition/Assignment.h"
+#include "partition/CostModel.h"
+
+namespace fpint {
+namespace partition {
+
+/// Runs the advanced scheme on \p G with block weights \p W.
+Assignment partitionAdvanced(const analysis::RDG &G,
+                             const analysis::BlockWeights &W,
+                             CostParams Params = CostParams());
+
+/// Structural sanity of an assignment (both schemes): pinned nodes are
+/// INT; every FPa node's INT parents carry a copy or duplicate; every
+/// duplicated node's INT parents do too (closure); FPa producers of call
+/// arguments / return values carry a copy-back; duplicates only on
+/// eligible nodes. Returns a list of violations (empty when valid).
+std::vector<std::string> validateAssignment(const Assignment &A);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_ADVANCEDPARTITIONER_H

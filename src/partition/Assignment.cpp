@@ -1,0 +1,55 @@
+//===- partition/Assignment.cpp - Partition assignments -------------------===//
+
+#include "partition/Assignment.h"
+
+using namespace fpint;
+using namespace fpint::partition;
+using analysis::NodeKind;
+using analysis::RDG;
+using sir::Opcode;
+
+bool partition::pinnedToInt(const RDG &G, unsigned Node) {
+  const analysis::RDGNode &N = G.node(Node);
+  switch (N.Kind) {
+  case NodeKind::LoadAddr:
+  case NodeKind::StoreAddr:
+  case NodeKind::CallNode:
+  case NodeKind::RetNode:
+  case NodeKind::Formal:
+    return true;
+  case NodeKind::LoadVal: {
+    // Byte loads sign/zero-extend into the integer file only; loads
+    // already targeting the FP file (native l.s) are not integer
+    // computation and stay out of the partitioning universe.
+    if (N.I->op() != Opcode::Lw)
+      return true;
+    const sir::Function &F = *N.I->parent()->parent();
+    return F.regClass(N.I->def()) == sir::RegClass::Fp;
+  }
+  case NodeKind::StoreVal: {
+    if (N.I->op() != Opcode::Sw)
+      return true;
+    const sir::Function &F = *N.I->parent()->parent();
+    return !N.I->uses().empty() &&
+           F.regClass(N.I->uses()[0]) == sir::RegClass::Fp;
+  }
+  case NodeKind::OutVal: {
+    const sir::Function &F = *N.I->parent()->parent();
+    return !N.I->uses().empty() &&
+           F.regClass(N.I->uses()[0]) == sir::RegClass::Fp;
+  }
+  case NodeKind::Plain:
+    return !sir::fpaSupports(N.I->op());
+  }
+  return true;
+}
+
+bool partition::dupEligible(const RDG &G, unsigned Node) {
+  const analysis::RDGNode &N = G.node(Node);
+  return N.Kind == NodeKind::Plain && N.I && sir::fpaSupports(N.I->op()) &&
+         N.Def.isValid();
+}
+
+bool partition::copyEligible(const RDG &G, unsigned Node) {
+  return G.node(Node).Def.isValid();
+}

@@ -1,0 +1,80 @@
+//===- partition/Assignment.h - Partition assignments ---------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of code partitioning for one function: a side (INT or FPa)
+/// for every RDG node, plus the sets of nodes for which the advanced
+/// scheme inserts communication:
+///
+///  * Copy:    INT definitions whose value is copied to the FP file with
+///             a cp_to_fp right after the def (Section 5.3/6).
+///  * Dup:     INT definitions duplicated as an FPa clone instruction
+///             (Section 6.2), so the FPa side recomputes the value with
+///             no communication.
+///  * CopyBack: FPa definitions whose value must return to the integer
+///             file (cp_to_int) because a call argument or return value
+///             consumes it (Section 6.4) -- the only FPa-to-INT copies.
+///
+/// Also defines the pinning rules shared by both partitioning schemes:
+/// which nodes can never move to the FPa subsystem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_ASSIGNMENT_H
+#define FPINT_PARTITION_ASSIGNMENT_H
+
+#include "analysis/RDG.h"
+#include "sir/IR.h"
+
+#include <vector>
+
+namespace fpint {
+namespace partition {
+
+enum class Side : uint8_t { Int, Fpa };
+
+/// Per-function partitioning decision over an RDG's nodes.
+struct Assignment {
+  const analysis::RDG *G = nullptr;
+  std::vector<Side> NodeSide;
+  std::vector<bool> Copy;     ///< cp_to_fp after this (INT) definition.
+  std::vector<bool> Dup;      ///< FPa clone after this (INT) definition.
+  std::vector<bool> CopyBack; ///< cp_to_int after this (FPa) definition.
+
+  explicit Assignment(const analysis::RDG &Rdg)
+      : G(&Rdg), NodeSide(Rdg.numNodes(), Side::Int),
+        Copy(Rdg.numNodes(), false), Dup(Rdg.numNodes(), false),
+        CopyBack(Rdg.numNodes(), false) {}
+
+  bool isFpa(unsigned Node) const { return NodeSide[Node] == Side::Fpa; }
+
+  /// Number of nodes assigned to the FPa subsystem.
+  unsigned fpaNodeCount() const {
+    unsigned Count = 0;
+    for (Side S : NodeSide)
+      Count += S == Side::Fpa;
+    return Count;
+  }
+};
+
+/// True if \p Node can never execute in the FPa subsystem: address
+/// halves of memory operations, calls/returns/formals (integer calling
+/// convention), byte-sized load/store data (no FP byte transfers), and
+/// plain instructions outside the 22 offloadable opcodes (including
+/// native FP code, which needs no offloading).
+bool pinnedToInt(const analysis::RDG &G, unsigned Node);
+
+/// True if \p Node may be duplicated into FPa: only plain, offloadable,
+/// value-producing instructions qualify (never loads, calls, formals).
+bool dupEligible(const analysis::RDG &G, unsigned Node);
+
+/// True if \p Node defines a register (and can therefore be copied).
+bool copyEligible(const analysis::RDG &G, unsigned Node);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_ASSIGNMENT_H

@@ -1,0 +1,40 @@
+//===- partition/BasicPartitioner.cpp - The paper's basic scheme ----------===//
+
+#include "partition/BasicPartitioner.h"
+
+using namespace fpint;
+using namespace fpint::partition;
+using analysis::RDG;
+
+Assignment partition::partitionBasic(const RDG &G) {
+  Assignment A(G);
+  const unsigned NumComponents = G.numComponents();
+  std::vector<bool> ComponentPinned(NumComponents, false);
+  for (unsigned N = 0; N < G.numNodes(); ++N)
+    if (pinnedToInt(G, N))
+      ComponentPinned[G.componentOf()[N]] = true;
+  for (unsigned N = 0; N < G.numNodes(); ++N)
+    A.NodeSide[N] = ComponentPinned[G.componentOf()[N]] ? Side::Int : Side::Fpa;
+  return A;
+}
+
+bool partition::satisfiesBasicConditions(const Assignment &A) {
+  const RDG &G = *A.G;
+  for (unsigned N = 0; N < G.numNodes(); ++N) {
+    if (!A.isFpa(N))
+      continue;
+    // Condition 2: no ancestor of an FPa node is in INT.
+    std::vector<bool> Back;
+    G.backwardSlice(N, Back);
+    for (unsigned V = 0; V < G.numNodes(); ++V)
+      if (Back[V] && !A.isFpa(V))
+        return false;
+    // Condition 3: no descendant of an FPa node is in INT.
+    std::vector<bool> Fwd;
+    G.forwardSlice(N, Fwd);
+    for (unsigned V = 0; V < G.numNodes(); ++V)
+      if (Fwd[V] && !A.isFpa(V))
+        return false;
+  }
+  return true;
+}

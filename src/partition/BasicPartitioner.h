@@ -1,0 +1,40 @@
+//===- partition/BasicPartitioner.h - The paper's basic scheme ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic partitioning scheme of Section 5: partition the program
+/// without introducing any extra instructions, so inter-partition
+/// communication happens only through existing loads and stores. The
+/// partitioning conditions require that no FPa node exchange a register
+/// value with the INT partition in either direction; equivalently, every
+/// connected component of the undirected RDG belongs wholly to one
+/// partition. Components containing a pinned node (load/store addresses,
+/// calls, returns, formals, unsupported opcodes) go to INT; all other
+/// components -- which compute only branch outcomes and store values --
+/// go to FPa.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_BASICPARTITIONER_H
+#define FPINT_PARTITION_BASICPARTITIONER_H
+
+#include "partition/Assignment.h"
+
+namespace fpint {
+namespace partition {
+
+/// Runs the basic scheme on \p G; never populates Copy/Dup/CopyBack.
+Assignment partitionBasic(const analysis::RDG &G);
+
+/// Checks the Section 5.1 partitioning conditions on \p A: the FPa set
+/// is disjoint from INT, and no FPa node's backward or forward slice
+/// intersects the INT partition. Returns true if all conditions hold.
+bool satisfiesBasicConditions(const Assignment &A);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_BASICPARTITIONER_H

@@ -1,0 +1,74 @@
+//===- partition/DotExport.cpp - Graphviz export of partitioned RDGs ------===//
+
+#include "partition/DotExport.h"
+
+#include "sir/Printer.h"
+
+using namespace fpint;
+using namespace fpint::partition;
+using analysis::NodeKind;
+using analysis::RDG;
+using analysis::RDGNode;
+
+static const char *kindSuffix(NodeKind K) {
+  switch (K) {
+  case NodeKind::LoadAddr:
+  case NodeKind::StoreAddr:
+    return " [a]";
+  case NodeKind::LoadVal:
+  case NodeKind::StoreVal:
+  case NodeKind::OutVal:
+    return " [v]";
+  case NodeKind::Formal:
+    return " formal";
+  default:
+    return "";
+  }
+}
+
+static std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string partition::toDot(const RDG &G, const Assignment *A) {
+  std::string Dot = "digraph rdg {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (unsigned N = 0; N < G.numNodes(); ++N) {
+    const RDGNode &Node = G.node(N);
+    std::string Label;
+    if (Node.I)
+      Label = "I" + std::to_string(Node.I->id()) + ": " +
+              sir::opcodeName(Node.I->op());
+    else
+      Label = "arg";
+    Label += kindSuffix(Node.Kind);
+
+    std::string Attrs;
+    if (A) {
+      if (A->isFpa(N))
+        Attrs = ", style=filled, fillcolor=lightblue";
+      if (A->Copy[N]) {
+        Label += " +copy";
+        Attrs = ", style=filled, fillcolor=khaki";
+      }
+      if (A->Dup[N]) {
+        Label += " +dup";
+        Attrs = ", style=filled, fillcolor=khaki";
+      }
+      if (A->CopyBack[N])
+        Label += " +cpback";
+    }
+    Dot += "  n" + std::to_string(N) + " [label=\"" + escape(Label) + "\"" +
+           Attrs + "];\n";
+  }
+  for (unsigned N = 0; N < G.numNodes(); ++N)
+    for (unsigned S : G.node(N).Succs)
+      Dot += "  n" + std::to_string(N) + " -> n" + std::to_string(S) + ";\n";
+  Dot += "}\n";
+  return Dot;
+}

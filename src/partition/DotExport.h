@@ -1,0 +1,35 @@
+//===- partition/DotExport.h - Graphviz export of partitioned RDGs --------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a register dependence graph in Graphviz dot format, in the
+/// visual language of the paper's Figures 3-6: split load/store halves
+/// labeled [a]/[v], formal-parameter dummy nodes, and (when an
+/// assignment is supplied) the FPa partition shaded with copy /
+/// duplicate / copy-back annotations. Useful for debugging the
+/// partitioners and regenerating paper-style figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_DOTEXPORT_H
+#define FPINT_PARTITION_DOTEXPORT_H
+
+#include "analysis/RDG.h"
+#include "partition/Assignment.h"
+
+#include <string>
+
+namespace fpint {
+namespace partition {
+
+/// Renders \p G as a dot graph. If \p A is non-null, FPa nodes are
+/// shaded and copy/dup/copy-back markers are appended to labels.
+std::string toDot(const analysis::RDG &G, const Assignment *A = nullptr);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_DOTEXPORT_H

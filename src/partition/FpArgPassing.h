@@ -1,0 +1,53 @@
+//===- partition/FpArgPassing.h - Section 6.6 interprocedural extension ---===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's closing Section 6.6 suggestion: "By performing
+/// interprocedural analysis, it might be possible to reduce some of the
+/// copy overheads across calls by passing integer arguments in
+/// floating-point registers." This pass implements that extension on a
+/// partitioned module:
+///
+/// An argument slot is converted to FP passing when
+///  * the callee's only use of the formal is the cp_to_fp the advanced
+///    scheme inserted at entry (the formal's consumers all live in
+///    FPa), and
+///  * every call site's argument register is produced solely by a
+///    cp_to_int the advanced scheme inserted (the value was computed
+///    in FPa and copied back just to satisfy the convention).
+///
+/// Conversion rewires the callers to pass the FPa-resident value
+/// directly, deletes the callee's entry copy (the FP shadow becomes the
+/// formal), and removes caller copy-backs that no longer have integer
+/// consumers -- eliminating a cp_to_int + cp_to_fp round trip per call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_FPARGPASSING_H
+#define FPINT_PARTITION_FPARGPASSING_H
+
+#include "partition/Partitioner.h"
+#include "sir/IR.h"
+
+namespace fpint {
+namespace partition {
+
+struct FpArgReport {
+  unsigned ArgsConverted = 0;      ///< Formal slots moved to FP passing.
+  unsigned EntryCopiesRemoved = 0; ///< Callee cp_to_fp eliminated.
+  unsigned CopyBacksRemoved = 0;   ///< Caller cp_to_int eliminated.
+};
+
+/// Applies the extension to \p M in place. \p RW must be the rewrite
+/// report from partitioning \p M (it identifies the inserted copies);
+/// it is updated to drop the eliminated instructions. Run before
+/// register allocation.
+FpArgReport passArgsInFpRegisters(sir::Module &M, ModuleRewrite &RW);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_FPARGPASSING_H

@@ -1,0 +1,59 @@
+//===- partition/Rewriter.h - Apply an assignment to the code -------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a partition Assignment into executable code:
+///
+///  * FPa-assigned instructions get the FPa bit (printed ",a") and their
+///    operands move to floating-point registers -- either by retyping a
+///    register whose every definition is FPa, or through a fresh FP
+///    "shadow" register when INT definitions coexist.
+///  * Copy nodes get a cp_to_fp right after the defining instruction
+///    (formal parameters: at function entry).
+///  * Dup nodes get an FPa clone instruction right after the original,
+///    writing the FP shadow so the FPa side recomputes the value with no
+///    communication (the paper's Figure 6).
+///  * Copy-back nodes get a cp_to_int restoring the integer register for
+///    call arguments and return values (Section 6.4).
+///  * Loads/stores whose value node is FPa read/write the FP file (the
+///    l.s / s.s forms of the paper's Figure 4).
+///
+/// The rewrite preserves program semantics exactly; the test suite runs
+/// original and rewritten modules and compares outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_PARTITION_REWRITER_H
+#define FPINT_PARTITION_REWRITER_H
+
+#include "partition/Assignment.h"
+#include "sir/IR.h"
+
+#include <vector>
+
+namespace fpint {
+namespace partition {
+
+/// What the rewrite inserted, for overhead accounting (Section 7.2).
+struct RewriteReport {
+  std::vector<const sir::Instruction *> CopyInstrs;     ///< cp_to_fp
+  std::vector<const sir::Instruction *> DupInstrs;      ///< FPa clones
+  std::vector<const sir::Instruction *> CopyBackInstrs; ///< cp_to_int
+
+  unsigned staticAdded() const {
+    return static_cast<unsigned>(CopyInstrs.size() + DupInstrs.size() +
+                                 CopyBackInstrs.size());
+  }
+};
+
+/// Applies \p A to \p F (the function \p A's RDG was built over) and
+/// renumbers it. Returns what was inserted.
+RewriteReport applyAssignment(sir::Function &F, const Assignment &A);
+
+} // namespace partition
+} // namespace fpint
+
+#endif // FPINT_PARTITION_REWRITER_H

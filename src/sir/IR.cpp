@@ -1,0 +1,166 @@
+//===- sir/IR.cpp - Instructions, blocks, functions, modules --------------===//
+
+#include "sir/IR.h"
+
+#include <algorithm>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+size_t BasicBlock::positionOf(const Instruction *I) const {
+  for (size_t Pos = 0, E = Instrs.size(); Pos != E; ++Pos)
+    if (Instrs[Pos].get() == I)
+      return Pos;
+  assert(false && "instruction not in this block");
+  return Instrs.size();
+}
+
+BasicBlock *BasicBlock::fallthrough() const {
+  const Instruction *Last = back();
+  if (Last && isBlockEnder(Last->op()))
+    return nullptr;
+  const auto &Blocks = ParentFn->blocks();
+  if (Index + 1 < Blocks.size())
+    return Blocks[Index + 1].get();
+  return nullptr;
+}
+
+void BasicBlock::successors(std::vector<BasicBlock *> &Out) const {
+  const Instruction *Last = back();
+  if (Last && Last->isCondBranch()) {
+    Out.push_back(Last->target());
+    if (BasicBlock *FT = fallthrough())
+      Out.push_back(FT);
+    return;
+  }
+  if (Last && Last->op() == Opcode::Jump) {
+    Out.push_back(Last->target());
+    return;
+  }
+  if (Last && Last->op() == Opcode::Ret)
+    return;
+  if (BasicBlock *FT = fallthrough())
+    Out.push_back(FT);
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+BasicBlock *Function::addBlock(std::string BlockName) {
+  // Make the label unique within the function if it collides.
+  if (blockByName(BlockName)) {
+    unsigned Suffix = 1;
+    std::string Candidate;
+    do {
+      Candidate = BlockName + "." + std::to_string(Suffix++);
+    } while (blockByName(Candidate));
+    BlockName = Candidate;
+  }
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  Blocks.back()->setIndex(static_cast<unsigned>(Blocks.size() - 1));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::blockByName(const std::string &BlockName) {
+  for (const auto &BB : Blocks)
+    if (BB->name() == BlockName)
+      return BB.get();
+  return nullptr;
+}
+
+void Function::renumber() {
+  unsigned NextId = 0;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    Blocks[I]->setIndex(static_cast<unsigned>(I));
+    for (const auto &Instr : Blocks[I]->instructions()) {
+      Instr->setParent(Blocks[I].get());
+      Instr->setId(NextId++);
+      // Grow the frame to cover any frame-relative slot the code touches
+      // (hand-written tests use [frame+N] without declaring a size; the
+      // register allocator sets FrameWords explicitly and this never
+      // shrinks it).
+      if (isMemory(Instr->op()) && Instr->mem().IsFrame &&
+          Instr->mem().Offset >= 0) {
+        unsigned NeedWords = static_cast<unsigned>(Instr->mem().Offset) / 4 + 1;
+        if (NeedWords > FrameWords)
+          FrameWords = NeedWords;
+      }
+    }
+  }
+  NumInstrIds = NextId;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::addFunction(std::string Name) {
+  assert(!FuncIndex.count(Name) && "duplicate function name");
+  Funcs.push_back(std::make_unique<Function>(this, Name));
+  FuncIndex[Name] = Funcs.back().get();
+  return Funcs.back().get();
+}
+
+Function *Module::functionByName(const std::string &Name) {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : It->second;
+}
+
+const Function *Module::functionByName(const std::string &Name) const {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : It->second;
+}
+
+Global &Module::addGlobal(std::string Name, uint32_t SizeWords,
+                          std::vector<int32_t> Init) {
+  assert(!GlobalIndex.count(Name) && "duplicate global name");
+  assert(Init.size() <= SizeWords && "initializer larger than global");
+  GlobalIndex[Name] = Globals.size();
+  Globals.push_back(Global{std::move(Name), SizeWords, std::move(Init)});
+  return Globals.back();
+}
+
+const Global *Module::globalByName(const std::string &Name) const {
+  auto It = GlobalIndex.find(Name);
+  return It == GlobalIndex.end() ? nullptr : &Globals[It->second];
+}
+
+void Module::renumber() {
+  for (const auto &F : Funcs)
+    F->renumber();
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto New = std::make_unique<Module>();
+  for (const Global &G : Globals)
+    New->addGlobal(G.Name, G.SizeWords, G.Init);
+  for (const auto &F : Funcs) {
+    Function *NF = New->addFunction(F->name());
+    // Reserve identical register ids and classes.
+    for (unsigned Id = 1; Id < F->numRegs(); ++Id)
+      NF->newReg(F->regClass(Reg(Id)));
+    NF->copyFormalsFrom(*F);
+    NF->setFrameWords(F->frameWords());
+    NF->setAllocated(F->isAllocated());
+    // Create blocks first so branch targets can be resolved.
+    for (const auto &BB : F->blocks())
+      NF->addBlock(BB->name());
+    for (size_t BI = 0; BI < F->blocks().size(); ++BI) {
+      const BasicBlock &OldBB = *F->blocks()[BI];
+      BasicBlock *NewBB = NF->blocks()[BI].get();
+      for (const auto &I : OldBB.instructions()) {
+        auto NI = std::make_unique<Instruction>(*I);
+        if (I->target())
+          NI->setTarget(NF->blocks()[I->target()->index()].get());
+        NewBB->append(std::move(NI));
+      }
+    }
+  }
+  New->renumber();
+  return New;
+}

@@ -1,0 +1,388 @@
+//===- sir/IR.h - Instructions, blocks, functions, modules ----------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "sir" intermediate representation. A Module holds global data
+/// arrays and Functions; a Function holds BasicBlocks of Instructions over
+/// an unbounded set of virtual registers, each with a register class (INT
+/// or FP file). Control flow is MIPS-flavored: a conditional branch at the
+/// end of a block jumps to its target or falls through to the next block
+/// in layout order.
+///
+/// Every instruction carries a partition bit (InFpa): the paper's
+/// compiler assigns integer instructions either to the INT subsystem or to
+/// the augmented floating-point subsystem (FPa). The printer renders
+/// FPa-assigned instructions with the paper's ",a" suffix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_IR_H
+#define FPINT_SIR_IR_H
+
+#include "sir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fpint {
+namespace sir {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Which architectural register file a value lives in.
+enum class RegClass : uint8_t { Int, Fp };
+
+/// A virtual (or, after register allocation, architectural) register.
+/// Id 0 is the invalid sentinel; valid registers index the owning
+/// function's register-class table.
+class Reg {
+public:
+  Reg() = default;
+  explicit Reg(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const {
+    assert(isValid() && "querying invalid register");
+    return Id;
+  }
+  /// Raw id, 0 when invalid. Useful as a map key.
+  uint32_t rawId() const { return Id; }
+
+  friend bool operator==(Reg A, Reg B) { return A.Id == B.Id; }
+  friend bool operator!=(Reg A, Reg B) { return A.Id != B.Id; }
+  friend bool operator<(Reg A, Reg B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id = 0;
+};
+
+/// Memory address operand of a load or store:
+///   address = (frame pointer if IsFrame) + globalAddress(Symbol) +
+///             value(Base) + Offset
+/// with the constraint that Symbol and Base are mutually exclusive and
+/// IsFrame excludes both (frame slots are addressed by offset alone).
+struct MemOperand {
+  Reg Base;           ///< Optional base register.
+  std::string Symbol; ///< Optional global symbol.
+  int32_t Offset = 0; ///< Byte offset.
+  bool IsFrame = false;
+
+  static MemOperand reg(Reg Base, int32_t Offset = 0) {
+    MemOperand M;
+    M.Base = Base;
+    M.Offset = Offset;
+    return M;
+  }
+  static MemOperand global(std::string Symbol, int32_t Offset = 0) {
+    MemOperand M;
+    M.Symbol = std::move(Symbol);
+    M.Offset = Offset;
+    return M;
+  }
+  static MemOperand frame(int32_t Offset) {
+    MemOperand M;
+    M.IsFrame = true;
+    M.Offset = Offset;
+    return M;
+  }
+};
+
+/// Role a register use plays in an instruction, as seen by the register
+/// dependence graph (Section 3 of the paper): uses feeding an address
+/// computation belong to the instruction's *address* node, uses feeding a
+/// stored value to its *value* node.
+enum class UseKind : uint8_t { Plain, Address, StoreValue };
+
+/// A single IR instruction.
+class Instruction {
+public:
+  Instruction() = default;
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  Opcode op() const { return Op; }
+  void setOp(Opcode NewOp) { Op = NewOp; }
+
+  /// Destination register; invalid for instructions without a def (and
+  /// for calls whose result is unused).
+  Reg def() const { return Def; }
+  void setDef(Reg R) { Def = R; }
+
+  /// Plain register uses. For stores, Uses[0] is the stored value; for
+  /// Out, Uses[0] is the emitted value; for calls, the actual arguments;
+  /// for branches/ALU ops, the operands.
+  const std::vector<Reg> &uses() const { return Uses; }
+  std::vector<Reg> &uses() { return Uses; }
+
+  int64_t imm() const { return Imm; }
+  void setImm(int64_t V) { Imm = V; }
+
+  float fimm() const { return FImm; }
+  void setFImm(float V) { FImm = V; }
+
+  /// Memory operand; meaningful only for loads/stores and La.
+  const MemOperand &mem() const { return Mem; }
+  MemOperand &mem() { return Mem; }
+
+  /// Callee name; meaningful only for Call.
+  const std::string &callee() const { return Callee; }
+  void setCallee(std::string Name) { Callee = std::move(Name); }
+
+  /// Branch or jump target block.
+  BasicBlock *target() const { return Target; }
+  void setTarget(BasicBlock *BB) { Target = BB; }
+
+  /// Whether the partitioner assigned this instruction to the augmented
+  /// floating-point subsystem.
+  bool inFpa() const { return InFpa; }
+  void setInFpa(bool V) { InFpa = V; }
+
+  /// Function-unique id assigned by Function::renumber().
+  unsigned id() const { return Id; }
+  void setId(unsigned NewId) { Id = NewId; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  bool isLoad() const { return sir::isLoad(Op); }
+  bool isStore() const { return sir::isStore(Op); }
+  bool isCondBranch() const { return sir::isCondBranch(Op); }
+
+  /// True if this instruction must be the last in its block.
+  bool isTerminator() const { return isBlockEnder(Op) || isCondBranch(); }
+
+  /// Invokes \p Fn for every register use, including the memory base
+  /// register, tagged with its RDG role.
+  template <typename CallbackT> void forEachUse(CallbackT Fn) const {
+    UseKind ValueKind = UseKind::Plain;
+    if (isStore() || Op == Opcode::Out)
+      ValueKind = UseKind::StoreValue;
+    for (const Reg &R : Uses)
+      Fn(R, ValueKind);
+    if (Mem.Base.isValid())
+      Fn(Mem.Base, UseKind::Address);
+  }
+
+private:
+  Opcode Op = Opcode::Li;
+  Reg Def;
+  std::vector<Reg> Uses;
+  int64_t Imm = 0;
+  float FImm = 0.0f;
+  MemOperand Mem;
+  std::string Callee;
+  BasicBlock *Target = nullptr;
+  BasicBlock *Parent = nullptr;
+  unsigned Id = 0;
+  bool InFpa = false;
+};
+
+/// A straight-line sequence of instructions with a label. Control enters
+/// at the top; it leaves through the terminator or by falling through to
+/// the next block in the function's layout order.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name)
+      : ParentFn(Parent), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  Function *parent() const { return ParentFn; }
+
+  /// Layout position within the parent function (set by renumber()).
+  unsigned index() const { return Index; }
+  void setIndex(unsigned I) { Index = I; }
+
+  using InstrList = std::vector<std::unique_ptr<Instruction>>;
+  InstrList &instructions() { return Instrs; }
+  const InstrList &instructions() const { return Instrs; }
+
+  bool empty() const { return Instrs.empty(); }
+  Instruction *back() { return Instrs.empty() ? nullptr : Instrs.back().get(); }
+  const Instruction *back() const {
+    return Instrs.empty() ? nullptr : Instrs.back().get();
+  }
+
+  /// Appends an instruction and takes ownership.
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Instrs.push_back(std::move(I));
+    return Instrs.back().get();
+  }
+
+  /// Inserts \p I at position \p Pos (0 = front).
+  Instruction *insertAt(size_t Pos, std::unique_ptr<Instruction> I) {
+    assert(Pos <= Instrs.size() && "insert position out of range");
+    I->setParent(this);
+    auto It = Instrs.insert(Instrs.begin() + Pos, std::move(I));
+    return It->get();
+  }
+
+  /// Returns the position of \p I within this block.
+  size_t positionOf(const Instruction *I) const;
+
+  /// Removes \p I from the block (the instruction is destroyed).
+  void erase(const Instruction *I) {
+    Instrs.erase(Instrs.begin() + positionOf(I));
+  }
+
+  /// The block control falls through to (next in layout), or null if this
+  /// block ends in an unconditional terminator or is last.
+  BasicBlock *fallthrough() const;
+
+  /// Appends this block's successors (taken target and/or fallthrough)
+  /// to \p Out.
+  void successors(std::vector<BasicBlock *> &Out) const;
+
+private:
+  Function *ParentFn;
+  std::string Name;
+  unsigned Index = 0;
+  InstrList Instrs;
+};
+
+/// A function: formal parameters (integer calling convention), blocks in
+/// layout order, and per-register class information.
+class Function {
+public:
+  Function(Module *Parent, std::string Name)
+      : ParentMod(Parent), Name(std::move(Name)) {
+    RegClasses.push_back(RegClass::Int); // Slot for the invalid reg id 0.
+  }
+
+  const std::string &name() const { return Name; }
+  Module *parent() const { return ParentMod; }
+
+  /// Creates a fresh virtual register of class \p RC.
+  Reg newReg(RegClass RC = RegClass::Int) {
+    RegClasses.push_back(RC);
+    return Reg(static_cast<uint32_t>(RegClasses.size() - 1));
+  }
+
+  unsigned numRegs() const { return static_cast<unsigned>(RegClasses.size()); }
+
+  RegClass regClass(Reg R) const {
+    assert(R.id() < RegClasses.size() && "register out of range");
+    return RegClasses[R.id()];
+  }
+  void setRegClass(Reg R, RegClass RC) {
+    assert(R.id() < RegClasses.size() && "register out of range");
+    RegClasses[R.id()] = RC;
+  }
+
+  /// Formal parameters, in order. The calling convention passes integer
+  /// arguments in integer registers (Section 4 of the paper).
+  const std::vector<Reg> &formals() const { return Formals; }
+  Reg addFormal() {
+    Formals.push_back(newReg(RegClass::Int));
+    return Formals.back();
+  }
+
+  /// Replicates \p Other's formal-parameter list verbatim (for cloning;
+  /// the registers must already exist in this function).
+  void copyFormalsFrom(const Function &Other) { Formals = Other.Formals; }
+
+  /// Replaces the formal list (used by calling-convention lowering to
+  /// retarget formals onto the architectural argument registers).
+  void setFormals(std::vector<Reg> NewFormals) {
+    Formals = std::move(NewFormals);
+  }
+
+  using BlockList = std::vector<std::unique_ptr<BasicBlock>>;
+  BlockList &blocks() { return Blocks; }
+  const BlockList &blocks() const { return Blocks; }
+
+  BasicBlock *entry() { return Blocks.empty() ? nullptr : Blocks[0].get(); }
+  const BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks[0].get();
+  }
+
+  /// Appends a new block named \p BlockName (made unique if necessary).
+  BasicBlock *addBlock(std::string BlockName);
+
+  BasicBlock *blockByName(const std::string &BlockName);
+
+  /// Reassigns block layout indices and function-unique instruction ids.
+  /// Must be called after structural mutation and before analyses run.
+  void renumber();
+
+  /// Total number of instruction ids handed out by the last renumber().
+  unsigned numInstrIds() const { return NumInstrIds; }
+
+  /// Number of 4-byte spill slots in this function's frame (set by the
+  /// register allocator).
+  unsigned frameWords() const { return FrameWords; }
+  void setFrameWords(unsigned W) { FrameWords = W; }
+
+  /// Whether registers have been mapped to architectural registers.
+  bool isAllocated() const { return Allocated; }
+  void setAllocated(bool V) { Allocated = V; }
+
+  /// Visits every instruction in layout order.
+  template <typename CallbackT> void forEachInstr(CallbackT Fn) const {
+    for (const auto &BB : Blocks)
+      for (const auto &I : BB->instructions())
+        Fn(*I);
+  }
+
+private:
+  Module *ParentMod;
+  std::string Name;
+  std::vector<RegClass> RegClasses;
+  std::vector<Reg> Formals;
+  BlockList Blocks;
+  unsigned NumInstrIds = 0;
+  unsigned FrameWords = 0;
+  bool Allocated = false;
+};
+
+/// A named global data array of 4-byte words with optional initial values
+/// (zero-filled beyond the initializer).
+struct Global {
+  std::string Name;
+  uint32_t SizeWords = 0;
+  std::vector<int32_t> Init;
+};
+
+/// A whole program: globals plus functions. Execution starts at "main".
+class Module {
+public:
+  Function *addFunction(std::string Name);
+  Function *functionByName(const std::string &Name);
+  const Function *functionByName(const std::string &Name) const;
+
+  std::vector<std::unique_ptr<Function>> &functions() { return Funcs; }
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  Global &addGlobal(std::string Name, uint32_t SizeWords,
+                    std::vector<int32_t> Init = {});
+  const Global *globalByName(const std::string &Name) const;
+  const std::vector<Global> &globals() const { return Globals; }
+
+  /// Renumbers every function.
+  void renumber();
+
+  /// Deep-copies the entire module (used to compare original vs
+  /// partitioned programs).
+  std::unique_ptr<Module> clone() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<Global> Globals;
+  std::unordered_map<std::string, Function *> FuncIndex;
+  std::unordered_map<std::string, size_t> GlobalIndex;
+};
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_IR_H

@@ -1,0 +1,193 @@
+//===- sir/IRBuilder.cpp - Convenience construction API -------------------===//
+
+#include "sir/IRBuilder.h"
+
+using namespace fpint;
+using namespace fpint::sir;
+
+Instruction *IRBuilder::emit(Opcode Op) {
+  assert(BB && "no insertion point");
+  return BB->append(std::make_unique<Instruction>(Op));
+}
+
+Reg IRBuilder::binop(Opcode Op, Reg A, Reg B) {
+  Instruction *I = emit(Op);
+  Reg D = function()->newReg(RegClass::Int);
+  I->setDef(D);
+  I->uses() = {A, B};
+  return D;
+}
+
+Reg IRBuilder::immop(Opcode Op, Reg A, int64_t Imm) {
+  Instruction *I = emit(Op);
+  Reg D = function()->newReg(RegClass::Int);
+  I->setDef(D);
+  I->uses() = {A};
+  I->setImm(Imm);
+  return D;
+}
+
+Reg IRBuilder::li(int64_t Imm) {
+  Reg D = function()->newReg(RegClass::Int);
+  liInto(D, Imm);
+  return D;
+}
+
+void IRBuilder::liInto(Reg Dst, int64_t Imm) {
+  Instruction *I = emit(Opcode::Li);
+  I->setDef(Dst);
+  I->setImm(Imm);
+}
+
+Reg IRBuilder::move(Reg A) {
+  Reg D = function()->newReg(RegClass::Int);
+  moveInto(D, A);
+  return D;
+}
+
+void IRBuilder::moveInto(Reg Dst, Reg Src) {
+  Instruction *I = emit(Opcode::Move);
+  I->setDef(Dst);
+  I->uses() = {Src};
+}
+
+Reg IRBuilder::la(const std::string &Symbol, int32_t Offset) {
+  Instruction *I = emit(Opcode::La);
+  Reg D = function()->newReg(RegClass::Int);
+  I->setDef(D);
+  I->mem() = MemOperand::global(Symbol, Offset);
+  return D;
+}
+
+Reg IRBuilder::load(Opcode Op, MemOperand Mem) {
+  assert(sir::isLoad(Op) && "not a load opcode");
+  Instruction *I = emit(Op);
+  Reg D = function()->newReg(RegClass::Int);
+  I->setDef(D);
+  I->mem() = std::move(Mem);
+  return D;
+}
+
+Reg IRBuilder::lwFp(MemOperand Mem) {
+  Reg D = load(Opcode::Lw, std::move(Mem));
+  function()->setRegClass(D, RegClass::Fp);
+  return D;
+}
+
+void IRBuilder::store(Opcode Op, Reg Value, MemOperand Mem) {
+  assert(sir::isStore(Op) && "not a store opcode");
+  Instruction *I = emit(Op);
+  I->uses() = {Value};
+  I->mem() = std::move(Mem);
+}
+
+void IRBuilder::br(Opcode Op, Reg A, Reg B, BasicBlock *Target) {
+  assert(isIntCondBranch(Op) && "not an integer conditional branch");
+  assert((B.isValid() || (Op != Opcode::Beq && Op != Opcode::Bne)) &&
+         "beq/bne need two register operands");
+  Instruction *I = emit(Op);
+  if (B.isValid())
+    I->uses() = {A, B};
+  else
+    I->uses() = {A};
+  I->setTarget(Target);
+}
+
+void IRBuilder::jmp(BasicBlock *Target) {
+  Instruction *I = emit(Opcode::Jump);
+  I->setTarget(Target);
+}
+
+Reg IRBuilder::call(const std::string &Callee, const std::vector<Reg> &Args,
+                    bool WantResult) {
+  Instruction *I = emit(Opcode::Call);
+  I->setCallee(Callee);
+  I->uses() = Args;
+  Reg D;
+  if (WantResult) {
+    D = function()->newReg(RegClass::Int);
+    I->setDef(D);
+  }
+  return D;
+}
+
+void IRBuilder::ret() { emit(Opcode::Ret); }
+
+void IRBuilder::ret(Reg Value) {
+  Instruction *I = emit(Opcode::Ret);
+  I->uses() = {Value};
+}
+
+void IRBuilder::out(Reg Value) {
+  Instruction *I = emit(Opcode::Out);
+  I->uses() = {Value};
+}
+
+Reg IRBuilder::cpToFp(Reg IntSrc) {
+  Instruction *I = emit(Opcode::CpToFp);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->uses() = {IntSrc};
+  return D;
+}
+
+Reg IRBuilder::cpToInt(Reg FpSrc) {
+  Instruction *I = emit(Opcode::CpToInt);
+  Reg D = function()->newReg(RegClass::Int);
+  I->setDef(D);
+  I->uses() = {FpSrc};
+  return D;
+}
+
+Reg IRBuilder::fbinop(Opcode Op, Reg A, Reg B) {
+  assert(isFpOpcode(Op) && "not a floating-point opcode");
+  Instruction *I = emit(Op);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->uses() = {A, B};
+  return D;
+}
+
+Reg IRBuilder::fli(float Imm) {
+  Instruction *I = emit(Opcode::FLi);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->setFImm(Imm);
+  return D;
+}
+
+Reg IRBuilder::fmove(Reg A) {
+  Instruction *I = emit(Opcode::FMove);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->uses() = {A};
+  return D;
+}
+
+Reg IRBuilder::fcvtIF(Reg FpIntBits) {
+  Instruction *I = emit(Opcode::FCvtIF);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->uses() = {FpIntBits};
+  return D;
+}
+
+Reg IRBuilder::fcvtFI(Reg FpVal) {
+  Instruction *I = emit(Opcode::FCvtFI);
+  Reg D = function()->newReg(RegClass::Fp);
+  I->setDef(D);
+  I->uses() = {FpVal};
+  return D;
+}
+
+void IRBuilder::fbnez(Reg Cond, BasicBlock *Target) {
+  Instruction *I = emit(Opcode::FBnez);
+  I->uses() = {Cond};
+  I->setTarget(Target);
+}
+
+void IRBuilder::fbeqz(Reg Cond, BasicBlock *Target) {
+  Instruction *I = emit(Opcode::FBeqz);
+  I->uses() = {Cond};
+  I->setTarget(Target);
+}

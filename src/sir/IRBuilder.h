@@ -1,0 +1,128 @@
+//===- sir/IRBuilder.h - Convenience construction API ---------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only instruction builder, used by examples, tests, and the
+/// synthetic workload generators. Each emit method creates fresh virtual
+/// registers for results unless an explicit destination is given.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_IRBUILDER_H
+#define FPINT_SIR_IRBUILDER_H
+
+#include "sir/IR.h"
+
+namespace fpint {
+namespace sir {
+
+/// Builds instructions at the end of a basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(BasicBlock *BB = nullptr) : BB(BB) {}
+
+  void setInsertPoint(BasicBlock *NewBB) { BB = NewBB; }
+  BasicBlock *insertBlock() const { return BB; }
+  Function *function() const { return BB ? BB->parent() : nullptr; }
+
+  // Three-register ALU operations (rd = rs OP rt).
+  Reg binop(Opcode Op, Reg A, Reg B);
+  Reg add(Reg A, Reg B) { return binop(Opcode::Add, A, B); }
+  Reg sub(Reg A, Reg B) { return binop(Opcode::Sub, A, B); }
+  Reg and_(Reg A, Reg B) { return binop(Opcode::And, A, B); }
+  Reg or_(Reg A, Reg B) { return binop(Opcode::Or, A, B); }
+  Reg xor_(Reg A, Reg B) { return binop(Opcode::Xor, A, B); }
+  Reg nor_(Reg A, Reg B) { return binop(Opcode::Nor, A, B); }
+  Reg slt(Reg A, Reg B) { return binop(Opcode::Slt, A, B); }
+  Reg sltu(Reg A, Reg B) { return binop(Opcode::SltU, A, B); }
+  Reg mul(Reg A, Reg B) { return binop(Opcode::Mul, A, B); }
+  Reg div(Reg A, Reg B) { return binop(Opcode::Div, A, B); }
+  Reg rem(Reg A, Reg B) { return binop(Opcode::Rem, A, B); }
+  Reg sllv(Reg A, Reg B) { return binop(Opcode::SllV, A, B); }
+  Reg srlv(Reg A, Reg B) { return binop(Opcode::SrlV, A, B); }
+  Reg srav(Reg A, Reg B) { return binop(Opcode::SraV, A, B); }
+
+  // Register-immediate ALU operations (rd = rs OP imm).
+  Reg immop(Opcode Op, Reg A, int64_t Imm);
+  Reg addi(Reg A, int64_t Imm) { return immop(Opcode::AddI, A, Imm); }
+  Reg andi(Reg A, int64_t Imm) { return immop(Opcode::AndI, A, Imm); }
+  Reg ori(Reg A, int64_t Imm) { return immop(Opcode::OrI, A, Imm); }
+  Reg xori(Reg A, int64_t Imm) { return immop(Opcode::XorI, A, Imm); }
+  Reg sll(Reg A, int64_t Imm) { return immop(Opcode::Sll, A, Imm); }
+  Reg srl(Reg A, int64_t Imm) { return immop(Opcode::Srl, A, Imm); }
+  Reg sra(Reg A, int64_t Imm) { return immop(Opcode::Sra, A, Imm); }
+  Reg slti(Reg A, int64_t Imm) { return immop(Opcode::SltI, A, Imm); }
+
+  /// rd = imm.
+  Reg li(int64_t Imm);
+  /// Writes imm into an existing destination register.
+  void liInto(Reg Dst, int64_t Imm);
+  /// rd = rs.
+  Reg move(Reg A);
+  /// Writes rs into an existing destination register.
+  void moveInto(Reg Dst, Reg Src);
+  /// rd = address of global \p Symbol + Offset.
+  Reg la(const std::string &Symbol, int32_t Offset = 0);
+
+  // Memory.
+  Reg load(Opcode Op, MemOperand Mem);
+  Reg lw(MemOperand Mem) { return load(Opcode::Lw, Mem); }
+  Reg lb(MemOperand Mem) { return load(Opcode::Lb, Mem); }
+  Reg lbu(MemOperand Mem) { return load(Opcode::Lbu, Mem); }
+  /// Loads into the floating-point register file (l.s analogue): the
+  /// destination register gets FP class.
+  Reg lwFp(MemOperand Mem);
+  void store(Opcode Op, Reg Value, MemOperand Mem);
+  void sw(Reg Value, MemOperand Mem) { store(Opcode::Sw, Value, Mem); }
+  void sb(Reg Value, MemOperand Mem) { store(Opcode::Sb, Value, Mem); }
+
+  // Control flow.
+  void br(Opcode Op, Reg A, Reg B, BasicBlock *Target);
+  void beq(Reg A, Reg B, BasicBlock *T) { br(Opcode::Beq, A, B, T); }
+  void bne(Reg A, Reg B, BasicBlock *T) { br(Opcode::Bne, A, B, T); }
+  void blez(Reg A, BasicBlock *T) { br(Opcode::Blez, A, Reg(), T); }
+  void bgtz(Reg A, BasicBlock *T) { br(Opcode::Bgtz, A, Reg(), T); }
+  void bltz(Reg A, BasicBlock *T) { br(Opcode::Bltz, A, Reg(), T); }
+  void jmp(BasicBlock *Target);
+  /// Emits a call; returns the result register (invalid if \p WantResult
+  /// is false).
+  Reg call(const std::string &Callee, const std::vector<Reg> &Args,
+           bool WantResult = true);
+  void ret();
+  void ret(Reg Value);
+
+  /// Appends \p Value to the program output stream.
+  void out(Reg Value);
+
+  // Inter-file copies.
+  Reg cpToFp(Reg IntSrc);
+  Reg cpToInt(Reg FpSrc);
+
+  // Floating point.
+  Reg fbinop(Opcode Op, Reg A, Reg B);
+  Reg fadd(Reg A, Reg B) { return fbinop(Opcode::FAdd, A, B); }
+  Reg fsub(Reg A, Reg B) { return fbinop(Opcode::FSub, A, B); }
+  Reg fmul(Reg A, Reg B) { return fbinop(Opcode::FMul, A, B); }
+  Reg fdiv(Reg A, Reg B) { return fbinop(Opcode::FDiv, A, B); }
+  Reg fcmplt(Reg A, Reg B) { return fbinop(Opcode::FCmpLt, A, B); }
+  Reg fcmple(Reg A, Reg B) { return fbinop(Opcode::FCmpLe, A, B); }
+  Reg fcmpeq(Reg A, Reg B) { return fbinop(Opcode::FCmpEq, A, B); }
+  Reg fli(float Imm);
+  Reg fmove(Reg A);
+  Reg fcvtIF(Reg FpIntBits);
+  Reg fcvtFI(Reg FpVal);
+  void fbnez(Reg Cond, BasicBlock *Target);
+  void fbeqz(Reg Cond, BasicBlock *Target);
+
+private:
+  Instruction *emit(Opcode Op);
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_IRBUILDER_H

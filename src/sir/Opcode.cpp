@@ -1,0 +1,295 @@
+//===- sir/Opcode.cpp - Instruction opcodes --------------------------------===//
+
+#include "sir/Opcode.h"
+
+#include <cassert>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+const char *sir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::And:
+    return "and";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::Or:
+    return "or";
+  case Opcode::OrI:
+    return "ori";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::XorI:
+    return "xori";
+  case Opcode::Sll:
+    return "sll";
+  case Opcode::Srl:
+    return "srl";
+  case Opcode::Sra:
+    return "sra";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::SltU:
+    return "sltu";
+  case Opcode::SltI:
+    return "slti";
+  case Opcode::Li:
+    return "li";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blez:
+    return "blez";
+  case Opcode::Bgtz:
+    return "bgtz";
+  case Opcode::Bltz:
+    return "bltz";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::SllV:
+    return "sllv";
+  case Opcode::SrlV:
+    return "srlv";
+  case Opcode::SraV:
+    return "srav";
+  case Opcode::Nor:
+    return "nor";
+  case Opcode::La:
+    return "la";
+  case Opcode::Lw:
+    return "lw";
+  case Opcode::Lb:
+    return "lb";
+  case Opcode::Lbu:
+    return "lbu";
+  case Opcode::Sw:
+    return "sw";
+  case Opcode::Sb:
+    return "sb";
+  case Opcode::Jump:
+    return "jmp";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::CpToFp:
+    return "cp_to_fp";
+  case Opcode::CpToInt:
+    return "cp_to_int";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FLi:
+    return "fli";
+  case Opcode::FMove:
+    return "fmove";
+  case Opcode::FCvtIF:
+    return "cvtif";
+  case Opcode::FCvtFI:
+    return "cvtfi";
+  case Opcode::FCmpLt:
+    return "fcmplt";
+  case Opcode::FCmpLe:
+    return "fcmple";
+  case Opcode::FCmpEq:
+    return "fcmpeq";
+  case Opcode::FBnez:
+    return "fbnez";
+  case Opcode::FBeqz:
+    return "fbeqz";
+  case Opcode::Out:
+    return "out";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+bool sir::fpaSupports(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::AddI:
+  case Opcode::And:
+  case Opcode::AndI:
+  case Opcode::Or:
+  case Opcode::OrI:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::SraV:
+  case Opcode::Slt:
+  case Opcode::SltU:
+  case Opcode::SltI:
+  case Opcode::Li:
+  case Opcode::Move:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blez:
+  case Opcode::Bgtz:
+  case Opcode::Bltz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sir::isIntCondBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blez:
+  case Opcode::Bgtz:
+  case Opcode::Bltz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sir::isFpCondBranch(Opcode Op) {
+  return Op == Opcode::FBnez || Op == Opcode::FBeqz;
+}
+
+bool sir::isCondBranch(Opcode Op) {
+  return isIntCondBranch(Op) || isFpCondBranch(Op);
+}
+
+bool sir::isBlockEnder(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::Ret;
+}
+
+bool sir::isLoad(Opcode Op) {
+  return Op == Opcode::Lw || Op == Opcode::Lb || Op == Opcode::Lbu;
+}
+
+bool sir::isStore(Opcode Op) { return Op == Opcode::Sw || Op == Opcode::Sb; }
+
+bool sir::isMemory(Opcode Op) { return isLoad(Op) || isStore(Op); }
+
+bool sir::isFpOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FLi:
+  case Opcode::FMove:
+  case Opcode::FCvtIF:
+  case Opcode::FCvtFI:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpEq:
+  case Opcode::FBnez:
+  case Opcode::FBeqz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sir::hasDef(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blez:
+  case Opcode::Bgtz:
+  case Opcode::Bltz:
+  case Opcode::Sw:
+  case Opcode::Sb:
+  case Opcode::Jump:
+  case Opcode::Ret:
+  case Opcode::FBnez:
+  case Opcode::FBeqz:
+  case Opcode::Out:
+    return false;
+  case Opcode::Call:
+    return true; // Optional; the instruction's def register may be invalid.
+  default:
+    return true;
+  }
+}
+
+ExecClass sir::execClass(Opcode Op) {
+  if (isLoad(Op))
+    return ExecClass::LoadOp;
+  if (isStore(Op))
+    return ExecClass::StoreOp;
+  if (isCondBranch(Op))
+    return ExecClass::BranchOp;
+  switch (Op) {
+  case Opcode::Mul:
+    return ExecClass::IntMul;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return ExecClass::IntDiv;
+  case Opcode::Jump:
+  case Opcode::Call:
+  case Opcode::Ret:
+    return ExecClass::CtrlOp;
+  case Opcode::CpToFp:
+  case Opcode::CpToInt:
+    return ExecClass::XferOp;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FLi:
+  case Opcode::FMove:
+  case Opcode::FCvtIF:
+  case Opcode::FCvtFI:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpEq:
+    return ExecClass::FpAdd;
+  case Opcode::FMul:
+    return ExecClass::FpMul;
+  case Opcode::FDiv:
+    return ExecClass::FpDiv;
+  case Opcode::Out:
+    return ExecClass::OutOp;
+  default:
+    return ExecClass::IntAlu;
+  }
+}
+
+unsigned sir::execLatency(ExecClass Class) {
+  switch (Class) {
+  case ExecClass::IntAlu:
+  case ExecClass::LoadOp:
+  case ExecClass::StoreOp:
+  case ExecClass::BranchOp:
+  case ExecClass::CtrlOp:
+  case ExecClass::XferOp:
+  case ExecClass::OutOp:
+    return 1;
+  case ExecClass::IntMul:
+    return 6;
+  case ExecClass::IntDiv:
+    return 12;
+  case ExecClass::FpAdd:
+    return 2;
+  case ExecClass::FpMul:
+    return 4;
+  case ExecClass::FpDiv:
+    return 12;
+  }
+  assert(false && "unknown exec class");
+  return 1;
+}

@@ -1,0 +1,180 @@
+//===- sir/Opcode.h - Instruction opcodes ---------------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes for the "sir" intermediate representation, a MIPS-like
+/// register-transfer language. The set mirrors the instruction classes the
+/// paper's compiler operates on:
+///
+///  * 17 simple integer ALU operations and 5 conditional branches that the
+///    augmented floating-point subsystem (FPa) can execute. These are the
+///    paper's "22 extra opcodes" -- in this IR an instruction carries a
+///    partition bit instead of a literal duplicate opcode, and the printer
+///    renders FPa-assigned instructions with the paper's ",a" suffix.
+///  * Integer multiply/divide and variable shifts, which FPa does not
+///    support (the paper excludes multiply/divide as rare and expensive).
+///  * Loads and stores, which always compute their address in the INT
+///    subsystem's load/store unit; the loaded/stored value may live in
+///    either register file.
+///  * Copy instructions between the register files (MIPS mtc1/mfc1), used
+///    by the advanced partitioning scheme.
+///  * A small single-precision floating-point set for the paper's Section
+///    7.5 experiment on floating-point programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_OPCODE_H
+#define FPINT_SIR_OPCODE_H
+
+#include <cstdint>
+
+namespace fpint {
+namespace sir {
+
+enum class Opcode : uint8_t {
+  // Integer ALU. All except XorI are FPa-offloadable; together with
+  // SraV (below, needed for the paper's gcc example where a variable
+  // arithmetic shift is offloaded) and the five conditional branches
+  // they form the paper's 22 FPa opcodes.
+  Add,   ///< rd = rs + rt (wrapping)
+  Sub,   ///< rd = rs - rt
+  AddI,  ///< rd = rs + imm
+  And,   ///< rd = rs & rt
+  AndI,  ///< rd = rs & imm
+  Or,    ///< rd = rs | rt
+  OrI,   ///< rd = rs | imm
+  Xor,   ///< rd = rs ^ rt
+  XorI,  ///< rd = rs ^ imm (not offloadable: outside the 22-opcode set)
+  Sll,   ///< rd = rs << imm
+  Srl,   ///< rd = (unsigned)rs >> imm
+  Sra,   ///< rd = (signed)rs >> imm
+  Slt,   ///< rd = (signed)rs < (signed)rt
+  SltU,  ///< rd = (unsigned)rs < (unsigned)rt
+  SltI,  ///< rd = (signed)rs < imm
+  Li,    ///< rd = imm
+  Move,  ///< rd = rs
+
+  // Conditional branches, FPa-offloadable (5 ops). Together with the ALU
+  // group above these form the paper's 22 FPa opcodes.
+  Beq,  ///< if (rs == rt) goto target
+  Bne,  ///< if (rs != rt) goto target
+  Blez, ///< if (rs <= 0) goto target
+  Bgtz, ///< if (rs > 0) goto target
+  Bltz, ///< if (rs < 0) goto target
+
+  // Remaining integer operations. SraV is FPa-offloadable (see above);
+  // multiply/divide are excluded as in the paper, and SllV/SrlV/Nor/La
+  // fall outside the 22-opcode budget.
+  Mul,  ///< rd = rs * rt (6-cycle)
+  Div,  ///< rd = rs / rt (12-cycle; traps avoided: x/0 == 0)
+  Rem,  ///< rd = rs % rt (12-cycle; x%0 == x)
+  SllV, ///< rd = rs << (rt & 31)
+  SrlV, ///< rd = (unsigned)rs >> (rt & 31)
+  SraV, ///< rd = (signed)rs >> (rt & 31)
+  Nor,  ///< rd = ~(rs | rt)
+  La,   ///< rd = address of a global symbol (+ imm)
+
+  // Memory. Addresses are always computed in the INT subsystem.
+  Lw,  ///< rd = mem32[addr]
+  Lb,  ///< rd = sign-extended mem8[addr]
+  Lbu, ///< rd = zero-extended mem8[addr]
+  Sw,  ///< mem32[addr] = rs
+  Sb,  ///< mem8[addr] = low byte of rs
+
+  // Control flow (INT subsystem / front end).
+  Jump, ///< goto target
+  Call, ///< [rd =] call sym(args...); integer calling convention
+  Ret,  ///< return [rs]
+
+  // Inter-register-file copies (MIPS mtc1/mfc1 analogues). The advanced
+  // partitioning scheme inserts CpToFp; CpToInt appears only for call
+  // arguments and return values (Section 6.4 of the paper).
+  CpToFp,  ///< fp rd = int rs
+  CpToInt, ///< int rd = fp rs
+
+  // Single-precision floating point (always executes in the FP subsystem).
+  FAdd,   ///< fd = fs + ft
+  FSub,   ///< fd = fs - ft
+  FMul,   ///< fd = fs * ft
+  FDiv,   ///< fd = fs / ft
+  FLi,    ///< fd = float immediate
+  FMove,  ///< fd = fs
+  FCvtIF, ///< fd = (float)(int32 bits in fs)   [cvt.s.w]
+  FCvtFI, ///< fd = (int32)truncate(fs)         [trunc.w.s]
+  FCmpLt, ///< fd = fs < ft ? 1.0f : 0.0f       [condition value]
+  FCmpLe, ///< fd = fs <= ft ? 1.0f : 0.0f
+  FCmpEq, ///< fd = fs == ft ? 1.0f : 0.0f
+  FBnez,  ///< if (fs != 0.0f) goto target      [bc1t analogue]
+  FBeqz,  ///< if (fs == 0.0f) goto target      [bc1f analogue]
+
+  // Pseudo-instruction: appends an integer to the program's output stream.
+  // Behaves like a store to an output port: the address side is trivial
+  // and the value may come from either register file.
+  Out,
+};
+
+/// Total number of opcodes (for table sizing).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Out) + 1;
+
+/// Returns the assembly mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True if the augmented floating-point subsystem can execute \p Op.
+/// Exactly 22 opcodes satisfy this predicate (17 ALU + 5 branches),
+/// matching the paper's 22 instruction-set extensions.
+bool fpaSupports(Opcode Op);
+
+/// True for the five FPa-offloadable integer conditional branches.
+bool isIntCondBranch(Opcode Op);
+
+/// True for the two floating-point conditional branches.
+bool isFpCondBranch(Opcode Op);
+
+/// True for any conditional branch.
+bool isCondBranch(Opcode Op);
+
+/// True for instructions that end a basic block unconditionally
+/// (Jump and Ret). Conditional branches fall through to the next block.
+bool isBlockEnder(Opcode Op);
+
+bool isLoad(Opcode Op);
+bool isStore(Opcode Op);
+bool isMemory(Opcode Op);
+
+/// True for opcodes whose results live in (and operands come from) the
+/// floating-point register file: the FAdd...FBeqz group.
+bool isFpOpcode(Opcode Op);
+
+/// True if \p Op defines a register (given that calls may or may not).
+bool hasDef(Opcode Op);
+
+/// Functional-unit class used by the timing simulator.
+enum class ExecClass : uint8_t {
+  IntAlu,   ///< 1-cycle integer operation (also valid on FPa units)
+  IntMul,   ///< 6-cycle integer multiply
+  IntDiv,   ///< 12-cycle integer divide/remainder
+  LoadOp,   ///< address generation + data cache access
+  StoreOp,  ///< address generation; data written at commit
+  BranchOp, ///< conditional branch resolution
+  CtrlOp,   ///< jump / call / return handled by the front end
+  FpAdd,    ///< 2-cycle FP add/convert/compare
+  FpMul,    ///< 4-cycle FP multiply
+  FpDiv,    ///< 12-cycle FP divide
+  XferOp,   ///< inter-register-file copy
+  OutOp,    ///< output port write (store-like)
+};
+
+/// Returns the functional-unit class of \p Op.
+ExecClass execClass(Opcode Op);
+
+/// Returns the execution latency in cycles of \p Class (cache hits for
+/// loads; misses are modeled by the simulator).
+unsigned execLatency(ExecClass Class);
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_OPCODE_H

@@ -1,0 +1,624 @@
+//===- sir/Parser.cpp - Textual form parsing --------------------------------===//
+
+#include "sir/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+namespace {
+
+/// Character cursor over a single source line.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Text) : Text(Text) {}
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipWs();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+  }
+
+  /// Parses an identifier ([A-Za-z0-9_.]+); empty string if none.
+  std::string ident() {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Parses a decimal or 0x-hex integer with optional sign.
+  std::optional<int64_t> integer() {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    size_t DigitsStart = Pos;
+    bool Hex = false;
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+      Pos += 2;
+      Hex = true;
+      DigitsStart = Pos;
+    }
+    while (Pos < Text.size() &&
+           (Hex ? std::isxdigit(static_cast<unsigned char>(Text[Pos]))
+                : std::isdigit(static_cast<unsigned char>(Text[Pos]))))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      Pos = Start;
+      return std::nullopt;
+    }
+    return std::strtoll(Text.c_str() + Start, nullptr, 0);
+  }
+
+  /// Parses a floating-point literal.
+  std::optional<float> floating() {
+    skipWs();
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    float V = std::strtof(Begin, &End);
+    if (End == Begin)
+      return std::nullopt;
+    Pos += static_cast<size_t>(End - Begin);
+    return V;
+  }
+
+  size_t position() const { return Pos; }
+  std::string rest() const { return Text.substr(Pos); }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// Pending branch-target reference to resolve once all labels are known.
+struct Fixup {
+  Instruction *I;
+  std::string Label;
+  unsigned Line;
+};
+
+class ModuleParser {
+public:
+  explicit ModuleParser(const std::string &Source) : Source(Source) {}
+
+  ParseResult run();
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Result.Error.empty()) {
+      Result.Error = Msg;
+      Result.Line = LineNo;
+    }
+    return false;
+  }
+
+  bool parseGlobal(Cursor &C);
+  bool parseFuncHeader(Cursor &C);
+  bool parseBodyLine(Cursor &C);
+  bool parseInstr(Cursor &C, const std::string &Mnemonic);
+  bool finishFunction();
+
+  /// Returns the register named \p Name, creating it with class \p RC on
+  /// first sight; errors on a class conflict.
+  std::optional<Reg> regFor(const std::string &Name, RegClass RC);
+  std::optional<Reg> parseReg(Cursor &C, RegClass RC);
+  bool parseMem(Cursor &C, MemOperand &Out);
+  BasicBlock *ensureBlock();
+
+  const std::string &Source;
+  ParseResult Result;
+  std::unique_ptr<Module> M = std::make_unique<Module>();
+  unsigned LineNo = 0;
+
+  // Per-function state.
+  Function *F = nullptr;
+  BasicBlock *CurBB = nullptr;
+  std::map<std::string, Reg> RegNames;
+  std::vector<Fixup> Fixups;
+};
+
+std::optional<Reg> ModuleParser::regFor(const std::string &Name, RegClass RC) {
+  auto It = RegNames.find(Name);
+  if (It == RegNames.end()) {
+    Reg R = F->newReg(RC);
+    RegNames.emplace(Name, R);
+    return R;
+  }
+  if (F->regClass(It->second) != RC) {
+    fail("register %" + Name + " used with conflicting class");
+    return std::nullopt;
+  }
+  return It->second;
+}
+
+std::optional<Reg> ModuleParser::parseReg(Cursor &C, RegClass RC) {
+  if (!C.eat('%')) {
+    fail("expected register, got '" + C.rest() + "'");
+    return std::nullopt;
+  }
+  std::string Name = C.ident();
+  if (Name.empty()) {
+    fail("expected register name after %");
+    return std::nullopt;
+  }
+  return regFor(Name, RC);
+}
+
+bool ModuleParser::parseMem(Cursor &C, MemOperand &Out) {
+  Out = MemOperand();
+  if (C.eat('[')) {
+    std::string Kw = C.ident();
+    if (Kw != "frame")
+      return fail("expected 'frame' in bracketed address");
+    auto Off = C.integer();
+    Out = MemOperand::frame(Off ? static_cast<int32_t>(*Off) : 0);
+    if (!C.eat(']'))
+      return fail("expected ']' after frame offset");
+    return true;
+  }
+  char Next = C.peek();
+  if (Next == '-' || Next == '+' || std::isdigit(static_cast<unsigned char>(Next))) {
+    auto Off = C.integer();
+    if (!Off)
+      return fail("malformed address offset");
+    // Either a bare "off(%base)" or just an absolute offset.
+    if (C.eat('(')) {
+      auto Base = parseReg(C, RegClass::Int);
+      if (!Base)
+        return false;
+      if (!C.eat(')'))
+        return fail("expected ')' after base register");
+      Out = MemOperand::reg(*Base, static_cast<int32_t>(*Off));
+      return true;
+    }
+    Out = MemOperand::reg(Reg(), static_cast<int32_t>(*Off));
+    return true;
+  }
+  std::string Sym = C.ident();
+  if (Sym.empty())
+    return fail("expected address operand");
+  int32_t Off = 0;
+  if (C.peek() == '+' || C.peek() == '-') {
+    auto OffVal = C.integer();
+    if (!OffVal)
+      return fail("malformed symbol offset");
+    Off = static_cast<int32_t>(*OffVal);
+  }
+  Out = MemOperand::global(Sym, Off);
+  return true;
+}
+
+BasicBlock *ModuleParser::ensureBlock() {
+  if (!CurBB)
+    CurBB = F->addBlock("entry");
+  return CurBB;
+}
+
+bool ModuleParser::parseGlobal(Cursor &C) {
+  std::string Name = C.ident();
+  if (Name.empty())
+    return fail("expected global name");
+  auto Size = C.integer();
+  if (!Size || *Size < 0)
+    return fail("expected global size in words");
+  std::vector<int32_t> Init;
+  if (C.eat('=')) {
+    while (!C.atEnd()) {
+      auto V = C.integer();
+      if (!V)
+        return fail("malformed global initializer");
+      Init.push_back(static_cast<int32_t>(*V));
+    }
+  }
+  if (Init.size() > static_cast<size_t>(*Size))
+    return fail("initializer longer than global size");
+  if (M->globalByName(Name))
+    return fail("duplicate global '" + Name + "'");
+  M->addGlobal(Name, static_cast<uint32_t>(*Size), std::move(Init));
+  return true;
+}
+
+bool ModuleParser::parseFuncHeader(Cursor &C) {
+  std::string Name = C.ident();
+  if (Name.empty())
+    return fail("expected function name");
+  if (M->functionByName(Name))
+    return fail("duplicate function '" + Name + "'");
+  F = M->addFunction(Name);
+  CurBB = nullptr;
+  RegNames.clear();
+  Fixups.clear();
+  if (!C.eat('('))
+    return fail("expected '(' after function name");
+  if (!C.eat(')')) {
+    for (;;) {
+      if (!C.eat('%'))
+        return fail("expected formal parameter register");
+      std::string PName = C.ident();
+      if (PName.empty())
+        return fail("expected formal parameter name");
+      if (RegNames.count(PName))
+        return fail("duplicate formal parameter %" + PName);
+      Reg R = F->addFormal();
+      RegNames.emplace(PName, R);
+      if (C.eat(')'))
+        break;
+      if (!C.eat(','))
+        return fail("expected ',' or ')' in formal list");
+    }
+  }
+  if (!C.eat('{'))
+    return fail("expected '{' after function header");
+  if (!C.atEnd())
+    return fail("unexpected text after '{'");
+  return true;
+}
+
+bool ModuleParser::finishFunction() {
+  for (const Fixup &Fx : Fixups) {
+    BasicBlock *Target = F->blockByName(Fx.Label);
+    if (!Target) {
+      LineNo = Fx.Line;
+      return fail("unknown label '" + Fx.Label + "'");
+    }
+    Fx.I->setTarget(Target);
+  }
+  if (F->blocks().empty())
+    return fail("function '" + F->name() + "' has no body");
+  F = nullptr;
+  CurBB = nullptr;
+  return true;
+}
+
+bool ModuleParser::parseInstr(Cursor &C, const std::string &MnemonicIn) {
+  std::string Mnemonic = MnemonicIn;
+  bool Fpa = false;
+  if (Mnemonic.size() > 2 && Mnemonic.substr(Mnemonic.size() - 2) == ",a") {
+    Fpa = true;
+    Mnemonic = Mnemonic.substr(0, Mnemonic.size() - 2);
+  }
+
+  static const std::map<std::string, Opcode> OpMap = [] {
+    std::map<std::string, Opcode> Map;
+    for (unsigned I = 0; I < NumOpcodes; ++I) {
+      Opcode Op = static_cast<Opcode>(I);
+      Map[opcodeName(Op)] = Op;
+    }
+    return Map;
+  }();
+
+  bool FpData = false; // l.s / s.s data side in the FP file.
+  Opcode Op;
+  if (Mnemonic == "l.s") {
+    Op = Opcode::Lw;
+    FpData = true;
+  } else if (Mnemonic == "s.s") {
+    Op = Opcode::Sw;
+    FpData = true;
+  } else {
+    auto It = OpMap.find(Mnemonic);
+    if (It == OpMap.end())
+      return fail("unknown mnemonic '" + Mnemonic + "'");
+    Op = It->second;
+  }
+
+  if (Fpa && !fpaSupports(Op) && Op != Opcode::Out)
+    return fail("',a' suffix on non-offloadable mnemonic '" + Mnemonic + "'");
+
+  // Register class expected for the data operands of this instruction.
+  const bool FpRegs = Fpa || isFpOpcode(Op);
+  const RegClass DataRC = (FpRegs || FpData) ? RegClass::Fp : RegClass::Int;
+
+  auto I = std::make_unique<Instruction>(Op);
+  I->setInFpa(Fpa);
+  Instruction *Raw = I.get();
+  BasicBlock *BB = ensureBlock();
+
+  auto Def = [&](RegClass RC) -> bool {
+    auto R = parseReg(C, RC);
+    if (!R)
+      return false;
+    Raw->setDef(*R);
+    return true;
+  };
+  auto Use = [&](RegClass RC) -> bool {
+    auto R = parseReg(C, RC);
+    if (!R)
+      return false;
+    Raw->uses().push_back(*R);
+    return true;
+  };
+  auto Comma = [&]() -> bool {
+    if (!C.eat(','))
+      return fail("expected ','");
+    return true;
+  };
+  auto Imm = [&]() -> bool {
+    auto V = C.integer();
+    if (!V)
+      return fail("expected immediate");
+    Raw->setImm(*V);
+    return true;
+  };
+  auto Label = [&]() -> bool {
+    std::string L = C.ident();
+    if (L.empty())
+      return fail("expected label");
+    Fixups.push_back(Fixup{Raw, L, LineNo});
+    return true;
+  };
+
+  switch (Op) {
+  case Opcode::Li:
+    if (!Def(DataRC) || !Comma() || !Imm())
+      return false;
+    break;
+  case Opcode::FLi: {
+    if (!Def(RegClass::Fp) || !Comma())
+      return false;
+    auto V = C.floating();
+    if (!V)
+      return fail("expected float immediate");
+    Raw->setFImm(*V);
+    break;
+  }
+  case Opcode::La: {
+    if (!Def(RegClass::Int) || !Comma())
+      return false;
+    MemOperand Mem;
+    if (!parseMem(C, Mem))
+      return false;
+    if (Mem.Symbol.empty())
+      return fail("la requires a global symbol");
+    Raw->mem() = Mem;
+    break;
+  }
+  case Opcode::Move:
+    if (!Def(DataRC) || !Comma() || !Use(DataRC))
+      return false;
+    break;
+  case Opcode::FMove:
+  case Opcode::FCvtIF:
+  case Opcode::FCvtFI:
+    if (!Def(RegClass::Fp) || !Comma() || !Use(RegClass::Fp))
+      return false;
+    break;
+  case Opcode::CpToFp:
+    if (!Def(RegClass::Fp) || !Comma() || !Use(RegClass::Int))
+      return false;
+    break;
+  case Opcode::CpToInt:
+    if (!Def(RegClass::Int) || !Comma() || !Use(RegClass::Fp))
+      return false;
+    break;
+  case Opcode::AddI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::SltI:
+    if (!Def(DataRC) || !Comma() || !Use(DataRC) || !Comma() || !Imm())
+      return false;
+    break;
+  case Opcode::Lw:
+  case Opcode::Lb:
+  case Opcode::Lbu: {
+    RegClass RC = FpData ? RegClass::Fp : RegClass::Int;
+    if (Op != Opcode::Lw && FpData)
+      return fail("only word loads may target the FP file");
+    if (!Def(RC) || !Comma())
+      return false;
+    MemOperand Mem;
+    if (!parseMem(C, Mem))
+      return false;
+    Raw->mem() = Mem;
+    break;
+  }
+  case Opcode::Sw:
+  case Opcode::Sb: {
+    RegClass RC = FpData ? RegClass::Fp : RegClass::Int;
+    if (Op != Opcode::Sw && FpData)
+      return fail("only word stores may source the FP file");
+    if (!Use(RC) || !Comma())
+      return false;
+    MemOperand Mem;
+    if (!parseMem(C, Mem))
+      return false;
+    Raw->mem() = Mem;
+    break;
+  }
+  case Opcode::Beq:
+  case Opcode::Bne:
+    if (!Use(DataRC) || !Comma() || !Use(DataRC) || !Comma() || !Label())
+      return false;
+    break;
+  case Opcode::Blez:
+  case Opcode::Bgtz:
+  case Opcode::Bltz:
+    if (!Use(DataRC) || !Comma() || !Label())
+      return false;
+    break;
+  case Opcode::FBnez:
+  case Opcode::FBeqz:
+    if (!Use(RegClass::Fp) || !Comma() || !Label())
+      return false;
+    break;
+  case Opcode::Jump:
+    if (!Label())
+      return false;
+    break;
+  case Opcode::Call: {
+    // "call %d, f(args)" or "call f(args)".
+    if (C.peek() == '%') {
+      if (!Def(RegClass::Int) || !Comma())
+        return false;
+    }
+    std::string Callee = C.ident();
+    if (Callee.empty())
+      return fail("expected callee name");
+    Raw->setCallee(Callee);
+    if (!C.eat('('))
+      return fail("expected '(' after callee");
+    if (!C.eat(')')) {
+      for (;;) {
+        if (!Use(RegClass::Int))
+          return false;
+        if (C.eat(')'))
+          break;
+        if (!C.eat(','))
+          return fail("expected ',' or ')' in argument list");
+      }
+    }
+    break;
+  }
+  case Opcode::Ret:
+    if (!C.atEnd() && !Use(RegClass::Int))
+      return false;
+    break;
+  case Opcode::Out:
+    if (!Use(DataRC))
+      return false;
+    break;
+  default:
+    // Three-register ALU / FP forms.
+    if (!Def(DataRC) || !Comma() || !Use(DataRC) || !Comma() || !Use(DataRC))
+      return false;
+    break;
+  }
+
+  if (!C.atEnd())
+    return fail("unexpected trailing text '" + C.rest() + "'");
+
+  // A terminator may not be followed by more instructions in the block;
+  // start a fresh anonymous block if code continues.
+  BB->append(std::move(I));
+  if (Raw->isTerminator())
+    CurBB = nullptr;
+  return true;
+}
+
+bool ModuleParser::parseBodyLine(Cursor &C) {
+  std::string First = C.ident();
+  if (First.empty())
+    return fail("expected label or instruction");
+
+  // "name:" introduces a new basic block.
+  if (C.eat(':')) {
+    if (!C.atEnd())
+      return fail("unexpected text after label");
+    if (F->blockByName(First))
+      return fail("duplicate label '" + First + "'");
+    CurBB = F->addBlock(First);
+    return true;
+  }
+
+  // Mnemonics may carry the ",a" FPa suffix; the ident stops at the
+  // comma, so glue the suffix back on. Operand commas never directly
+  // follow the mnemonic (a register or immediate always intervenes).
+  std::string Mnemonic = First;
+  if (C.eat(',')) {
+    std::string Suffix = C.ident();
+    if (Suffix != "a")
+      return fail("expected 'a' after ',' in mnemonic");
+    Mnemonic += ",a";
+  }
+  return parseInstr(C, Mnemonic);
+}
+
+ParseResult ModuleParser::run() {
+  std::istringstream In(Source);
+  std::string RawLine;
+  while (std::getline(In, RawLine)) {
+    ++LineNo;
+    // Strip comments.
+    size_t Hash = RawLine.find('#');
+    if (Hash != std::string::npos)
+      RawLine = RawLine.substr(0, Hash);
+    Cursor C(RawLine);
+    if (C.atEnd())
+      continue;
+
+    if (!F) {
+      std::string Kw = C.ident();
+      if (Kw == "global") {
+        if (!parseGlobal(C))
+          return std::move(Result);
+        if (!C.atEnd()) {
+          fail("unexpected trailing text after global");
+          return std::move(Result);
+        }
+        continue;
+      }
+      if (Kw == "func") {
+        if (!parseFuncHeader(C))
+          return std::move(Result);
+        continue;
+      }
+      fail("expected 'global' or 'func', got '" + Kw + "'");
+      return std::move(Result);
+    }
+
+    // Inside a function.
+    {
+      Cursor Probe(RawLine);
+      if (Probe.eat('}')) {
+        if (!Probe.atEnd()) {
+          fail("unexpected text after '}'");
+          return std::move(Result);
+        }
+        if (!finishFunction())
+          return std::move(Result);
+        continue;
+      }
+    }
+    if (!parseBodyLine(C))
+      return std::move(Result);
+  }
+
+  if (F) {
+    fail("missing '}' at end of function '" + F->name() + "'");
+    return std::move(Result);
+  }
+  M->renumber();
+  Result.M = std::move(M);
+  return std::move(Result);
+}
+
+} // namespace
+
+ParseResult sir::parseModule(const std::string &Source) {
+  return ModuleParser(Source).run();
+}

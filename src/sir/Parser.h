@@ -1,0 +1,54 @@
+//===- sir/Parser.h - Textual form parsing --------------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the "sir" assembly syntax emitted by sir/Printer.h (and written
+/// by hand in tests and examples) back into a Module. Grammar sketch:
+///
+/// \code
+///   module   := (global | func)*
+///   global   := "global" NAME SIZE ["=" INT*]
+///   func     := "func" NAME "(" [REG ("," REG)*] ")" "{" body "}"
+///   body     := (LABEL ":" | instr)*
+///   instr    := MNEMONIC operands     ; one per line, "#" comments
+///   REG      := "%" IDENT            ; class implied by context: ",a"
+///                                    ; suffixed and FP mnemonics use the
+///                                    ; FP file, all else the INT file
+///   mem      := OFFSET "(" REG ")" | SYMBOL ["+"|"-" OFFSET]
+///             | "[" "frame" "+"|"-" OFFSET "]"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_PARSER_H
+#define FPINT_SIR_PARSER_H
+
+#include "sir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace fpint {
+namespace sir {
+
+/// Outcome of parsing: either a module, or a diagnostic with the
+/// 1-based source line it refers to.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  unsigned Line = 0;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses \p Source into a Module. On success the module is renumbered
+/// and ready for analysis; branch targets are resolved.
+ParseResult parseModule(const std::string &Source);
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_PARSER_H

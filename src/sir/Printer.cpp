@@ -1,0 +1,174 @@
+//===- sir/Printer.cpp - Textual form emission -----------------------------===//
+
+#include "sir/Printer.h"
+
+#include <cstdio>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+namespace {
+
+std::string regName(const Function &F, Reg R) {
+  if (!R.isValid())
+    return "%<invalid>";
+  const char *Prefix = F.regClass(R) == RegClass::Fp ? "%f" : "%r";
+  return Prefix + std::to_string(R.id());
+}
+
+std::string memString(const MemOperand &Mem) {
+  char Buf[128];
+  if (Mem.IsFrame) {
+    std::snprintf(Buf, sizeof(Buf), "[frame%+d]", Mem.Offset);
+    return Buf;
+  }
+  if (!Mem.Symbol.empty()) {
+    if (Mem.Offset == 0)
+      return Mem.Symbol;
+    std::snprintf(Buf, sizeof(Buf), "%s%+d", Mem.Symbol.c_str(), Mem.Offset);
+    return Buf;
+  }
+  return std::to_string(Mem.Offset) + "(" +
+         (Mem.Base.isValid() ? "%r" + std::to_string(Mem.Base.id())
+                             : std::string("%<invalid>")) +
+         ")";
+}
+
+} // namespace
+
+std::string sir::toString(const Instruction &I) {
+  const Function &F = *I.parent()->parent();
+  const Opcode Op = I.op();
+  std::string Mn = opcodeName(Op);
+
+  // Loads/stores with FP-file data print as the .s forms.
+  if (Op == Opcode::Lw && I.def().isValid() &&
+      F.regClass(I.def()) == RegClass::Fp)
+    Mn = "l.s";
+  if (Op == Opcode::Sw && !I.uses().empty() &&
+      F.regClass(I.uses()[0]) == RegClass::Fp)
+    Mn = "s.s";
+
+  if (I.inFpa())
+    Mn += ",a";
+
+  auto R = [&](Reg Rg) { return regName(F, Rg); };
+
+  std::string S = Mn + " ";
+  switch (Op) {
+  case Opcode::Li:
+    S += R(I.def()) + ", " + std::to_string(I.imm());
+    break;
+  case Opcode::FLi: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", static_cast<double>(I.fimm()));
+    S += R(I.def()) + ", " + Buf;
+    break;
+  }
+  case Opcode::La:
+    S += R(I.def()) + ", " + memString(I.mem());
+    break;
+  case Opcode::Move:
+  case Opcode::FMove:
+  case Opcode::CpToFp:
+  case Opcode::CpToInt:
+  case Opcode::FCvtIF:
+  case Opcode::FCvtFI:
+    S += R(I.def()) + ", " + R(I.uses()[0]);
+    break;
+  case Opcode::AddI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::SltI:
+    S += R(I.def()) + ", " + R(I.uses()[0]) + ", " + std::to_string(I.imm());
+    break;
+  case Opcode::Lw:
+  case Opcode::Lb:
+  case Opcode::Lbu:
+    S += R(I.def()) + ", " + memString(I.mem());
+    break;
+  case Opcode::Sw:
+  case Opcode::Sb:
+    S += R(I.uses()[0]) + ", " + memString(I.mem());
+    break;
+  case Opcode::Beq:
+  case Opcode::Bne:
+    S += R(I.uses()[0]) + ", " + R(I.uses()[1]) + ", " + I.target()->name();
+    break;
+  case Opcode::Blez:
+  case Opcode::Bgtz:
+  case Opcode::Bltz:
+  case Opcode::FBnez:
+  case Opcode::FBeqz:
+    S += R(I.uses()[0]) + ", " + I.target()->name();
+    break;
+  case Opcode::Jump:
+    S += I.target()->name();
+    break;
+  case Opcode::Call: {
+    if (I.def().isValid())
+      S += R(I.def()) + ", ";
+    S += I.callee() + "(";
+    for (size_t A = 0; A < I.uses().size(); ++A) {
+      if (A)
+        S += ", ";
+      S += R(I.uses()[A]);
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::Ret:
+    if (I.uses().empty())
+      S = Mn;
+    else
+      S += R(I.uses()[0]);
+    break;
+  case Opcode::Out:
+    S += R(I.uses()[0]);
+    break;
+  default:
+    // Three-register ALU and FP forms.
+    S += R(I.def()) + ", " + R(I.uses()[0]) + ", " + R(I.uses()[1]);
+    break;
+  }
+  return S;
+}
+
+std::string sir::toString(const Function &F) {
+  std::string S = "func " + F.name() + "(";
+  for (size_t A = 0; A < F.formals().size(); ++A) {
+    if (A)
+      S += ", ";
+    S += regName(F, F.formals()[A]);
+  }
+  S += ") {\n";
+  for (const auto &BB : F.blocks()) {
+    S += BB->name() + ":\n";
+    for (const auto &I : BB->instructions())
+      S += "  " + toString(*I) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string sir::toString(const Module &M) {
+  std::string S;
+  for (const Global &G : M.globals()) {
+    S += "global " + G.Name + " " + std::to_string(G.SizeWords);
+    if (!G.Init.empty()) {
+      S += " =";
+      for (int32_t V : G.Init)
+        S += " " + std::to_string(V);
+    }
+    S += "\n";
+  }
+  if (!M.globals().empty())
+    S += "\n";
+  for (const auto &F : M.functions())
+    S += toString(*F) + "\n";
+  return S;
+}

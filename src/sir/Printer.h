@@ -1,0 +1,38 @@
+//===- sir/Printer.h - Textual form emission ------------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules, functions, and instructions in the "sir" assembly
+/// syntax. Instructions assigned to the augmented floating-point
+/// subsystem print with the paper's ",a" suffix (e.g. "add,a"); loads and
+/// stores whose data side lives in the FP register file print as the MIPS
+/// "l.s"/"s.s" forms. The output round-trips through sir::parseModule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_PRINTER_H
+#define FPINT_SIR_PRINTER_H
+
+#include "sir/IR.h"
+
+#include <string>
+
+namespace fpint {
+namespace sir {
+
+/// Renders one instruction (no trailing newline).
+std::string toString(const Instruction &I);
+
+/// Renders a whole function.
+std::string toString(const Function &F);
+
+/// Renders a whole module (globals then functions).
+std::string toString(const Module &M);
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_PRINTER_H

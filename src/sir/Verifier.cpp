@@ -1,0 +1,190 @@
+//===- sir/Verifier.cpp - IR structural invariants -------------------------===//
+
+#include "sir/Verifier.h"
+
+#include "sir/Printer.h"
+
+using namespace fpint;
+using namespace fpint::sir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (const auto &F : M.functions())
+      checkFunction(*F);
+    return std::move(Errors);
+  }
+
+private:
+  void error(const Function &F, const Instruction *I, const std::string &Msg) {
+    std::string S = F.name();
+    if (I)
+      S += ": '" + toString(*I) + "'";
+    S += ": " + Msg;
+    Errors.push_back(std::move(S));
+  }
+
+  void checkClass(const Function &F, const Instruction &I, Reg R,
+                  RegClass Expected, const char *Role) {
+    if (!R.isValid()) {
+      error(F, &I, std::string("invalid ") + Role + " register");
+      return;
+    }
+    if (R.id() >= F.numRegs()) {
+      error(F, &I, std::string(Role) + " register id out of range");
+      return;
+    }
+    if (F.regClass(R) != Expected)
+      error(F, &I,
+            std::string(Role) + " register has wrong class (expected " +
+                (Expected == RegClass::Fp ? "fp" : "int") + ")");
+  }
+
+  void checkFunction(const Function &F);
+  void checkInstruction(const Function &F, const Instruction &I);
+
+  const Module &M;
+  std::vector<std::string> Errors;
+};
+
+void VerifierImpl::checkFunction(const Function &F) {
+  if (F.blocks().empty()) {
+    error(F, nullptr, "function has no blocks");
+    return;
+  }
+  // Formals are integer registers by the base calling convention; the
+  // Section 6.6 interprocedural extension may retarget some to the FP
+  // file, so either class is structurally valid.
+  for (Reg Formal : F.formals())
+    if (!Formal.isValid() || Formal.id() >= F.numRegs())
+      error(F, nullptr, "formal parameter register out of range");
+
+  for (const auto &BB : F.blocks()) {
+    const auto &Instrs = BB->instructions();
+    for (size_t Pos = 0; Pos < Instrs.size(); ++Pos) {
+      const Instruction &I = *Instrs[Pos];
+      if (I.isTerminator() && Pos + 1 != Instrs.size())
+        error(F, &I, "terminator is not the last instruction in its block");
+      checkInstruction(F, I);
+    }
+  }
+
+  // Control must not fall off the end of the function.
+  const BasicBlock &Last = *F.blocks().back();
+  const Instruction *End = Last.back();
+  if (!End || !isBlockEnder(End->op()))
+    error(F, End, "function may fall off its final block");
+}
+
+void VerifierImpl::checkInstruction(const Function &F, const Instruction &I) {
+  const Opcode Op = I.op();
+
+  if (I.inFpa() && !fpaSupports(Op) && Op != Opcode::Out)
+    error(F, &I, "instruction assigned to FPa but not offloadable");
+  if (isFpOpcode(Op) && I.inFpa())
+    error(F, &I, "native FP instruction must not carry the FPa bit");
+
+  // Branch/jump targets.
+  if (I.isCondBranch() || Op == Opcode::Jump) {
+    if (!I.target())
+      error(F, &I, "missing branch target");
+    else if (I.target()->parent() != &F)
+      error(F, &I, "branch target belongs to another function");
+  }
+
+  // Memory operands.
+  if (isMemory(Op) || Op == Opcode::La) {
+    const MemOperand &Mem = I.mem();
+    if (Mem.IsFrame && (Mem.Base.isValid() || !Mem.Symbol.empty()))
+      error(F, &I, "frame address must not also use base/symbol");
+    if (Mem.Base.isValid() && !Mem.Symbol.empty())
+      error(F, &I, "address must not combine base register and symbol");
+    if (!Mem.Symbol.empty() && !M.globalByName(Mem.Symbol))
+      error(F, &I, "unknown global '" + Mem.Symbol + "'");
+    if (Mem.Base.isValid())
+      checkClass(F, I, Mem.Base, RegClass::Int, "address base");
+  }
+
+  // Callee resolution.
+  if (Op == Opcode::Call) {
+    const Function *Callee = M.functionByName(I.callee());
+    if (!Callee)
+      error(F, &I, "unknown callee '" + I.callee() + "'");
+    else if (Callee->formals().size() != I.uses().size())
+      error(F, &I, "argument count does not match callee formals");
+  }
+
+  // Expected register classes, mirroring the parser's rules.
+  const RegClass DataRC =
+      (I.inFpa() || isFpOpcode(Op)) ? RegClass::Fp : RegClass::Int;
+
+  switch (Op) {
+  case Opcode::Lw:
+    // Word loads may target either file (l.s form).
+    if (I.def().isValid() && I.def().id() >= F.numRegs())
+      error(F, &I, "def register id out of range");
+    break;
+  case Opcode::Lb:
+  case Opcode::Lbu:
+    checkClass(F, I, I.def(), RegClass::Int, "def");
+    break;
+  case Opcode::Sw:
+    if (!I.uses().empty() && I.uses()[0].isValid() &&
+        I.uses()[0].id() >= F.numRegs())
+      error(F, &I, "store value register id out of range");
+    break;
+  case Opcode::Sb:
+    if (!I.uses().empty())
+      checkClass(F, I, I.uses()[0], RegClass::Int, "store value");
+    break;
+  case Opcode::CpToFp:
+    checkClass(F, I, I.def(), RegClass::Fp, "def");
+    checkClass(F, I, I.uses()[0], RegClass::Int, "source");
+    break;
+  case Opcode::CpToInt:
+    checkClass(F, I, I.def(), RegClass::Int, "def");
+    checkClass(F, I, I.uses()[0], RegClass::Fp, "source");
+    break;
+  case Opcode::Call: {
+    // Each argument's class must match the callee's formal class (INT
+    // by convention; FP when the 6.6 extension retargeted the slot).
+    const Function *Callee = M.functionByName(I.callee());
+    for (size_t A = 0; A < I.uses().size(); ++A) {
+      RegClass Expected = RegClass::Int;
+      if (Callee && A < Callee->formals().size())
+        Expected = Callee->regClass(Callee->formals()[A]);
+      checkClass(F, I, I.uses()[A], Expected, "call argument");
+    }
+    if (I.def().isValid())
+      checkClass(F, I, I.def(), RegClass::Int, "call result");
+    break;
+  }
+  case Opcode::Ret:
+    if (!I.uses().empty())
+      checkClass(F, I, I.uses()[0], RegClass::Int, "return value");
+    break;
+  case Opcode::Jump:
+    break;
+  case Opcode::La:
+    checkClass(F, I, I.def(), RegClass::Int, "def");
+    break;
+  default:
+    if (hasDef(Op) && I.def().isValid())
+      checkClass(F, I, I.def(), DataRC, "def");
+    else if (hasDef(Op) && Op != Opcode::Call && !I.def().isValid())
+      error(F, &I, "missing def register");
+    for (Reg U : I.uses())
+      checkClass(F, I, U, DataRC, "use");
+    break;
+  }
+}
+
+} // namespace
+
+std::vector<std::string> sir::verify(const Module &M) {
+  return VerifierImpl(M).run();
+}

@@ -1,0 +1,35 @@
+//===- sir/Verifier.h - IR structural invariants --------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks structural and register-class invariants of a module:
+/// terminator placement, branch-target sanity, operand register classes
+/// consistent with opcodes and FPa assignment, calling-convention
+/// constraints (integer argument/return registers), and resolvable
+/// callees and globals. The partitioners run the verifier on their
+/// output; tests assert empty diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SIR_VERIFIER_H
+#define FPINT_SIR_VERIFIER_H
+
+#include "sir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace fpint {
+namespace sir {
+
+/// Returns a list of human-readable diagnostics; empty means the module
+/// is well formed.
+std::vector<std::string> verify(const Module &M);
+
+} // namespace sir
+} // namespace fpint
+
+#endif // FPINT_SIR_VERIFIER_H

@@ -1,0 +1,57 @@
+//===- support/Rng.h - Deterministic random number generation ------------===//
+//
+// Part of the fpint project: a reproduction of Sastry, Palacharla & Smith,
+// "Exploiting Idle Floating-Point Resources for Integer Execution",
+// PLDI 1998.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic pseudo-random number generator
+/// (xorshift128+). Workload generators and property tests use this instead
+/// of std::mt19937 so that every run of the repository reproduces the same
+/// programs, traces, and measurements bit-for-bit across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SUPPORT_RNG_H
+#define FPINT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fpint {
+
+/// Deterministic xorshift128+ pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the generator state from \p Seed via splitmix64, so
+  /// that nearby seeds produce uncorrelated streams.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p Num / \p Denom.
+  bool chance(uint64_t Num, uint64_t Denom);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+};
+
+} // namespace fpint
+
+#endif // FPINT_SUPPORT_RNG_H

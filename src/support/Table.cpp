@@ -1,0 +1,63 @@
+//===- support/Table.cpp - Plain-text report tables -----------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace fpint;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::pct(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}
+
+std::string Table::num(uint64_t Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  return Buf;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Widen = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+    }
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      std::fprintf(Out, "%-*s", static_cast<int>(Widths[I] + 2), Cell.c_str());
+    }
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  std::string Sep(Total, '-');
+  std::fprintf(Out, "%s\n", Sep.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,46 @@
+//===- support/Table.h - Plain-text report tables -------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer used by the benchmark harness to
+/// emit paper-shaped tables (Figure 8/9/10 rows, Table 1/2, overhead
+/// breakdowns) without dragging in a formatting library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SUPPORT_TABLE_H
+#define FPINT_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fpint {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formatting helpers for common cell types.
+  static std::string fmt(double Value, int Precision = 2);
+  static std::string pct(double Fraction, int Precision = 1);
+  static std::string num(uint64_t Value);
+
+  /// Renders the table (header, separator, rows) to \p Out.
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace fpint
+
+#endif // FPINT_SUPPORT_TABLE_H

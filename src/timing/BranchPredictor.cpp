@@ -1,0 +1,47 @@
+//===- timing/BranchPredictor.cpp - gshare / McFarling predictors ---------===//
+
+#include "timing/BranchPredictor.h"
+
+using namespace fpint;
+using namespace fpint::timing;
+
+GsharePredictor::GsharePredictor(unsigned TableBits, unsigned HistoryBits)
+    : Table(1u << TableBits, 1),
+      HistoryMask((1u << HistoryBits) - 1),
+      TableMask((1u << TableBits) - 1) {}
+
+unsigned GsharePredictor::index(uint32_t Pc) const {
+  return ((Pc >> 2) ^ (History & HistoryMask)) & TableMask;
+}
+
+bool GsharePredictor::predict(uint32_t Pc) {
+  return counterPredict(Table[index(Pc)]);
+}
+
+void GsharePredictor::update(uint32_t Pc, bool Taken) {
+  uint8_t &C = Table[index(Pc)];
+  C = counterUpdate(C, Taken);
+  History = ((History << 1) | (Taken ? 1u : 0u)) & HistoryMask;
+}
+
+McFarlingPredictor::McFarlingPredictor(unsigned TableBits,
+                                       unsigned HistoryBits)
+    : Gshare(TableBits, HistoryBits), Bimodal(1u << TableBits, 1),
+      Chooser(1u << TableBits, 2), TableMask((1u << TableBits) - 1) {}
+
+bool McFarlingPredictor::predict(uint32_t Pc) {
+  unsigned Idx = (Pc >> 2) & TableMask;
+  bool UseGshare = counterPredict(Chooser[Idx]);
+  return UseGshare ? Gshare.predict(Pc) : counterPredict(Bimodal[Idx]);
+}
+
+void McFarlingPredictor::update(uint32_t Pc, bool Taken) {
+  unsigned Idx = (Pc >> 2) & TableMask;
+  bool GsharePred = Gshare.predict(Pc);
+  bool BimodalPred = counterPredict(Bimodal[Idx]);
+  // Train the chooser toward whichever component was right.
+  if (GsharePred != BimodalPred)
+    Chooser[Idx] = counterUpdate(Chooser[Idx], GsharePred == Taken);
+  Bimodal[Idx] = counterUpdate(Bimodal[Idx], Taken);
+  Gshare.update(Pc, Taken); // Also advances the global history.
+}

@@ -1,0 +1,112 @@
+//===- timing/BranchPredictor.h - gshare / McFarling predictors -----------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch prediction per Table 1 of the paper: "McFarling's gshare with
+/// 32K 2-bit counters, 15 bit global history". Unconditional control
+/// flow is predicted perfectly (also per Table 1), which the simulator
+/// handles by never consulting the predictor for it. A McFarling
+/// *combining* predictor (bimodal + gshare + chooser) is provided as an
+/// ablation option.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_TIMING_BRANCHPREDICTOR_H
+#define FPINT_TIMING_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fpint {
+namespace timing {
+
+/// Two-bit saturating counter helpers.
+inline uint8_t counterUpdate(uint8_t C, bool Taken) {
+  if (Taken)
+    return C < 3 ? C + 1 : 3;
+  return C > 0 ? C - 1 : 0;
+}
+inline bool counterPredict(uint8_t C) { return C >= 2; }
+
+/// Interface shared by the predictor variants.
+class BranchPredictor {
+public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicts the direction of the conditional branch at \p Pc.
+  virtual bool predict(uint32_t Pc) = 0;
+
+  /// Trains the predictor with the resolved outcome.
+  virtual void update(uint32_t Pc, bool Taken) = 0;
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t hits() const { return Hits; }
+  double accuracy() const {
+    return Lookups ? static_cast<double>(Hits) / static_cast<double>(Lookups)
+                   : 1.0;
+  }
+
+  /// Convenience: predict, score, and train in one step. Returns true
+  /// if the prediction was correct.
+  bool predictAndUpdate(uint32_t Pc, bool Taken) {
+    bool Pred = predict(Pc);
+    ++Lookups;
+    bool Correct = Pred == Taken;
+    Hits += Correct;
+    update(Pc, Taken);
+    return Correct;
+  }
+
+protected:
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+};
+
+/// gshare: global history XOR branch address indexes a counter table.
+class GsharePredictor : public BranchPredictor {
+public:
+  /// \p TableBits log2 of counter count (paper: 15 -> 32K counters);
+  /// \p HistoryBits global history length (paper: 15).
+  GsharePredictor(unsigned TableBits = 15, unsigned HistoryBits = 15);
+
+  bool predict(uint32_t Pc) override;
+  void update(uint32_t Pc, bool Taken) override;
+
+private:
+  unsigned index(uint32_t Pc) const;
+  std::vector<uint8_t> Table;
+  uint32_t History = 0;
+  uint32_t HistoryMask;
+  uint32_t TableMask;
+};
+
+/// McFarling combining predictor: bimodal + gshare + chooser (ablation).
+class McFarlingPredictor : public BranchPredictor {
+public:
+  explicit McFarlingPredictor(unsigned TableBits = 15,
+                              unsigned HistoryBits = 15);
+
+  bool predict(uint32_t Pc) override;
+  void update(uint32_t Pc, bool Taken) override;
+
+private:
+  GsharePredictor Gshare;
+  std::vector<uint8_t> Bimodal;
+  std::vector<uint8_t> Chooser;
+  uint32_t TableMask;
+};
+
+/// Static not-taken predictor (ablation baseline).
+class StaticNotTakenPredictor : public BranchPredictor {
+public:
+  bool predict(uint32_t) override { return false; }
+  void update(uint32_t, bool) override {}
+};
+
+} // namespace timing
+} // namespace fpint
+
+#endif // FPINT_TIMING_BRANCHPREDICTOR_H

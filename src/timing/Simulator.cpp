@@ -1,0 +1,391 @@
+//===- timing/Simulator.cpp - Cycle-level out-of-order simulator ----------===//
+
+#include "timing/Simulator.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace fpint;
+using namespace fpint::timing;
+using sir::ExecClass;
+using sir::Instruction;
+using sir::Opcode;
+using sir::RegClass;
+using vm::TraceEntry;
+
+namespace {
+
+constexpr uint64_t NeverCycle = ~0ULL;
+
+/// Pre-decoded static information about one instruction.
+struct InstrInfo {
+  ExecClass Class = ExecClass::IntAlu;
+  unsigned Latency = 1;
+  bool FpSubsystem = false; ///< Issues from the FP window / FP units.
+  bool IsLoad = false;
+  bool IsStore = false;
+  bool IsCondBranch = false;
+  bool Unpipelined = false; ///< Divides occupy their unit fully.
+
+  struct Operand {
+    uint8_t File = 0;  ///< 0 = INT file, 1 = FP file.
+    uint8_t Arch = 0;  ///< Architectural index within the file.
+  };
+  Operand Def;
+  bool HasDef = false;
+  Operand Uses[4];
+  unsigned NumUses = 0;
+};
+
+/// One in-flight instruction.
+struct RobEntry {
+  const TraceEntry *TE = nullptr;
+  const InstrInfo *Info = nullptr;
+  uint64_t Seq = 0;        ///< Program order.
+  uint64_t FetchCycle = 0;
+  bool Dispatched = false;
+  bool Issued = false;
+  uint64_t DoneCycle = NeverCycle;
+  bool Mispredicted = false;
+  // Producers of this entry's operands (ROB sequence numbers; entries
+  // retire in order so a missing sequence number means "ready").
+  uint64_t ProducerSeq[4] = {0, 0, 0, 0};
+};
+
+} // namespace
+
+struct Simulator::Impl {
+  std::unordered_map<const Instruction *, InstrInfo> InfoCache;
+  std::unique_ptr<BranchPredictor> Predictor;
+  std::unique_ptr<Cache> ICache;
+  std::unique_ptr<Cache> DCache;
+};
+
+Simulator::Simulator(const MachineConfig &ConfigIn,
+                     const regalloc::ModuleAlloc &AllocIn)
+    : Config(ConfigIn), Alloc(AllocIn), State(std::make_unique<Impl>()) {}
+
+Simulator::~Simulator() = default;
+
+SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
+  SimStats Stats;
+  Impl &S = *State;
+
+  switch (Config.Predictor) {
+  case PredictorKind::Gshare:
+    S.Predictor = std::make_unique<GsharePredictor>(
+        Config.PredictorTableBits, Config.PredictorHistoryBits);
+    break;
+  case PredictorKind::McFarling:
+    S.Predictor = std::make_unique<McFarlingPredictor>(
+        Config.PredictorTableBits, Config.PredictorHistoryBits);
+    break;
+  case PredictorKind::StaticNotTaken:
+    S.Predictor = std::make_unique<StaticNotTakenPredictor>();
+    break;
+  }
+  S.ICache = std::make_unique<Cache>(Config.ICache);
+  S.DCache = std::make_unique<Cache>(Config.DCache);
+
+  // Decode helper (memoized per static instruction).
+  auto InfoOf = [&](const TraceEntry &TE) -> const InstrInfo * {
+    auto It = S.InfoCache.find(TE.I);
+    if (It != S.InfoCache.end())
+      return &It->second;
+    const Instruction &I = *TE.I;
+    const sir::Function *F = I.parent()->parent();
+    InstrInfo Info;
+    Info.Class = sir::execClass(I.op());
+    Info.Latency = sir::execLatency(Info.Class);
+    Info.FpSubsystem = sir::isFpOpcode(I.op()) || I.inFpa();
+    Info.IsLoad = I.isLoad();
+    Info.IsStore = I.isStore();
+    Info.IsCondBranch = I.isCondBranch();
+    Info.Unpipelined =
+        Info.Class == ExecClass::IntDiv || Info.Class == ExecClass::FpDiv;
+    if (I.def().isValid()) {
+      Info.HasDef = true;
+      Info.Def.File = F->regClass(I.def()) == RegClass::Fp;
+      Info.Def.Arch =
+          static_cast<uint8_t>(Alloc.archIndexOf(F, I.def()));
+    }
+    I.forEachUse([&](sir::Reg R, sir::UseKind) {
+      assert(Info.NumUses < 4 && "too many operands");
+      Info.Uses[Info.NumUses].File = F->regClass(R) == RegClass::Fp;
+      Info.Uses[Info.NumUses].Arch =
+          static_cast<uint8_t>(Alloc.archIndexOf(F, R));
+      ++Info.NumUses;
+    });
+    if (!Config.FpaEnabled)
+      assert(!I.inFpa() &&
+             "partitioned binary on a conventional (non-FPa) machine");
+    return &S.InfoCache.emplace(TE.I, Info).first->second;
+  };
+
+  // Rename state: latest in-flight producer per architectural register,
+  // identified by ROB sequence number (0 = architectural/ready).
+  uint64_t RenameTable[2][regalloc::ArchLayout::FileSize] = {};
+  // Committed-or-done lookup: a producer is "resolved" once done.
+  std::unordered_map<uint64_t, uint64_t> DoneAt; // Seq -> DoneCycle.
+
+  std::deque<RobEntry> Rob;     // In-flight, program order.
+  std::deque<RobEntry> FetchQ;  // Fetched, not yet dispatched.
+  unsigned IntWindowUsed = 0, FpWindowUsed = 0;
+  unsigned IntPhysFree = Config.IntPhysRegs - regalloc::ArchLayout::FileSize;
+  unsigned FpPhysFree = Config.FpPhysRegs - regalloc::ArchLayout::FileSize;
+
+  size_t FetchIdx = 0;
+  uint64_t NextSeq = 1;
+  uint64_t Cycle = 0;
+  uint64_t FetchResumeCycle = 0;   // Fetch stalled until this cycle.
+  uint64_t PendingBranchSeq = 0;   // Mispredicted branch blocking fetch.
+
+  std::vector<uint64_t> IntUnitFree(Config.IntUnits, 0);
+  std::vector<uint64_t> FpUnitFree(Config.FpUnits, 0);
+
+  // Producers older than the ROB head have committed (retirement is in
+  // order), so their values are architectural.
+  auto OperandsReady = [&](const RobEntry &E, uint64_t OldestSeq) -> bool {
+    for (unsigned U = 0; U < E.Info->NumUses; ++U) {
+      uint64_t P = E.ProducerSeq[U];
+      if (P == 0 || P < OldestSeq)
+        continue;
+      auto It = DoneAt.find(P);
+      if (It == DoneAt.end() || It->second > Cycle)
+        return false;
+    }
+    return true;
+  };
+
+  const uint64_t SafetyLimit =
+      static_cast<uint64_t>(Trace.size() + 1000) * 400 + 100000;
+
+  while (FetchIdx < Trace.size() || !Rob.empty() || !FetchQ.empty()) {
+    //===------------------------------------------------------------===//
+    // Commit (in order, up to RetireWidth).
+    //===------------------------------------------------------------===//
+    unsigned Retired = 0;
+    while (!Rob.empty() && Retired < Config.RetireWidth) {
+      RobEntry &Head = Rob.front();
+      if (!Head.Issued || Head.DoneCycle > Cycle)
+        break;
+      if (Head.Info->IsStore)
+        // Stores write the cache at retirement (write buffer absorbs
+        // the latency; misses were charged at execute via allocation).
+        S.DCache->access(Head.TE->MemAddr, /*Write=*/true);
+      if (Head.Info->HasDef) {
+        // Freeing the previous mapping of the destination register.
+        if (Head.Info->Def.File)
+          ++FpPhysFree;
+        else
+          ++IntPhysFree;
+      }
+      DoneAt.erase(Head.Seq);
+      ++Stats.Instructions;
+      ++Retired;
+      Rob.pop_front();
+    }
+
+    //===------------------------------------------------------------===//
+    // Issue (per subsystem, oldest first).
+    //===------------------------------------------------------------===//
+    unsigned IntIssuedNow = 0, FpIssuedNow = 0, PortsUsed = 0;
+    const uint64_t OldestSeq = Rob.empty() ? NextSeq : Rob.front().Seq;
+    for (RobEntry &E : Rob) {
+      if (!E.Dispatched || E.Issued)
+        continue;
+      const InstrInfo &Info = *E.Info;
+      const bool Fp = Info.FpSubsystem;
+      auto &Units = Fp ? FpUnitFree : IntUnitFree;
+      unsigned &IssuedNow = Fp ? FpIssuedNow : IntIssuedNow;
+      if (IssuedNow >= Units.size())
+        continue;
+      if (!OperandsReady(E, OldestSeq))
+        continue;
+
+      // Memory constraints (INT subsystem only).
+      unsigned ExtraLatency = 0;
+      if (Info.IsLoad || Info.IsStore) {
+        if (PortsUsed >= Config.LoadStorePorts)
+          continue;
+        if (Info.IsLoad) {
+          // All prior store addresses must be known (i.e., issued);
+          // forward from a matching completed-issue store if possible.
+          bool Blocked = false;
+          bool Forwarded = false;
+          for (const RobEntry &Older : Rob) {
+            if (Older.Seq >= E.Seq)
+              break;
+            if (!Older.Info->IsStore)
+              continue;
+            if (!Older.Issued) {
+              Blocked = true;
+              break;
+            }
+            if (Older.TE->MemAddr / 4 == E.TE->MemAddr / 4)
+              Forwarded = true; // Youngest older match wins.
+          }
+          if (Blocked)
+            continue;
+          if (Forwarded) {
+            ++Stats.StoreForwards;
+          } else {
+            unsigned Lat = S.DCache->access(E.TE->MemAddr, false);
+            ExtraLatency = Lat - Config.DCache.HitLatency;
+            if (ExtraLatency)
+              ++Stats.DCacheMisses;
+          }
+        }
+      }
+
+      // Find a free functional unit.
+      unsigned Unit = ~0u;
+      for (unsigned U = 0; U < Units.size(); ++U)
+        if (Units[U] <= Cycle) {
+          Unit = U;
+          break;
+        }
+      if (Unit == ~0u)
+        continue;
+
+      // Issue.
+      E.Issued = true;
+      E.DoneCycle = Cycle + Info.Latency + ExtraLatency;
+      Units[Unit] = Info.Unpipelined ? E.DoneCycle : Cycle + 1;
+      ++IssuedNow;
+      if (Info.IsLoad || Info.IsStore)
+        ++PortsUsed;
+      if (Info.HasDef)
+        DoneAt[E.Seq] = E.DoneCycle;
+      if (E.Mispredicted) {
+        FetchResumeCycle =
+            std::max(FetchResumeCycle, E.DoneCycle + Config.MispredictRedirect);
+        if (PendingBranchSeq == E.Seq)
+          PendingBranchSeq = 0;
+      }
+    }
+    Stats.IntIssued += IntIssuedNow;
+    Stats.FpIssued += FpIssuedNow;
+    if (FpIssuedNow > 0) {
+      ++Stats.FpBusyCycles;
+      if (IntIssuedNow == 0)
+        ++Stats.IntIdleFpBusyCycles;
+    }
+
+    //===------------------------------------------------------------===//
+    // Dispatch (decode/rename, up to DecodeWidth).
+    //===------------------------------------------------------------===//
+    unsigned Dispatched = 0;
+    while (!FetchQ.empty() && Dispatched < Config.DecodeWidth) {
+      RobEntry &E = FetchQ.front();
+      if (E.FetchCycle >= Cycle)
+        break; // Fetched this cycle; decodes next.
+      const InstrInfo &Info = *E.Info;
+      if (Rob.size() >= Config.MaxInFlight)
+        break;
+      unsigned &Window = Info.FpSubsystem ? FpWindowUsed : IntWindowUsed;
+      unsigned Capacity = Info.FpSubsystem ? Config.FpWindow : Config.IntWindow;
+      if (Window >= Capacity)
+        break;
+      if (Info.HasDef) {
+        unsigned &Free = Info.Def.File ? FpPhysFree : IntPhysFree;
+        if (Free == 0)
+          break;
+        --Free;
+      }
+
+      // Rename: record operand producers, claim the destination.
+      for (unsigned U = 0; U < Info.NumUses; ++U)
+        E.ProducerSeq[U] =
+            RenameTable[Info.Uses[U].File][Info.Uses[U].Arch];
+      if (Info.HasDef)
+        RenameTable[Info.Def.File][Info.Def.Arch] = E.Seq;
+
+      E.Dispatched = true;
+      ++Window;
+      Rob.push_back(E);
+      FetchQ.pop_front();
+      ++Dispatched;
+    }
+    // Window entries free at issue in real hardware; modeling them as
+    // freed at issue:
+    // (recomputed below by counting un-issued dispatched entries)
+    IntWindowUsed = 0;
+    FpWindowUsed = 0;
+    for (const RobEntry &E : Rob)
+      if (E.Dispatched && !E.Issued)
+        ++(E.Info->FpSubsystem ? FpWindowUsed : IntWindowUsed);
+
+    //===------------------------------------------------------------===//
+    // Fetch (up to FetchWidth, blocked by mispredicts and I-misses).
+    //===------------------------------------------------------------===//
+    if (Cycle >= FetchResumeCycle && PendingBranchSeq == 0 &&
+        FetchQ.size() < 2 * Config.FetchWidth) {
+      for (unsigned N = 0; N < Config.FetchWidth && FetchIdx < Trace.size();
+           ++N) {
+        const TraceEntry &TE = Trace[FetchIdx];
+        const InstrInfo *Info = InfoOf(TE);
+
+        unsigned ILat = S.ICache->access(TE.Pc, false);
+        if (ILat > Config.ICache.HitLatency) {
+          ++Stats.ICacheMisses;
+          FetchResumeCycle = Cycle + (ILat - Config.ICache.HitLatency);
+        }
+
+        RobEntry E;
+        E.TE = &TE;
+        E.Info = Info;
+        E.Seq = NextSeq++;
+        E.FetchCycle = Cycle;
+        if (Info->IsCondBranch) {
+          ++Stats.CondBranches;
+          bool Correct = S.Predictor->predictAndUpdate(TE.Pc, TE.Taken);
+          if (!Correct) {
+            ++Stats.Mispredicts;
+            E.Mispredicted = true;
+            PendingBranchSeq = E.Seq;
+          }
+        }
+        if (Info->IsLoad)
+          ++Stats.Loads;
+        if (Info->IsStore)
+          ++Stats.Stores;
+        ++FetchIdx;
+        bool TakenTransfer =
+            (Info->IsCondBranch && TE.Taken) ||
+            TE.I->op() == sir::Opcode::Jump ||
+            TE.I->op() == sir::Opcode::Call ||
+            TE.I->op() == sir::Opcode::Ret;
+        bool StopFetch = E.Mispredicted || FetchResumeCycle > Cycle ||
+                         (Config.FetchBreaksOnTaken && TakenTransfer);
+        FetchQ.push_back(std::move(E));
+        if (StopFetch)
+          break;
+      }
+    }
+
+    ++Cycle;
+    if (Cycle > SafetyLimit) {
+      assert(false && "simulator failed to make progress");
+      break;
+    }
+  }
+
+  Stats.Cycles = Cycle;
+  return Stats;
+}
+
+SimStats timing::simulateModule(const sir::Module &M,
+                                const regalloc::ModuleAlloc &Alloc,
+                                const MachineConfig &Config,
+                                const std::vector<int32_t> &MainArgs) {
+  vm::VM::Options Opts;
+  Opts.CollectTrace = true;
+  vm::VM Machine(M, Opts);
+  auto R = Machine.run(MainArgs);
+  assert(R.Ok && "trace generation failed");
+  (void)R;
+  Simulator Sim(Config, Alloc);
+  return Sim.run(Machine.trace());
+}

@@ -1,0 +1,113 @@
+//===- timing/Simulator.h - Cycle-level out-of-order simulator ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace-driven, cycle-level timing simulator of the paper's
+/// partitioned superscalar microarchitecture (Figure 1), in the style of
+/// the SimpleScalar out-of-order simulator the authors derived theirs
+/// from. The machine has:
+///
+///  * a shared front end: I-cache, gshare branch predictor (mispredicted
+///    conditional branches stall fetch until they resolve, plus a
+///    redirect cycle; unconditional control flow is predicted
+///    perfectly), fetch/decode/rename of Table 1 widths;
+///  * two execution subsystems with separate issue windows, functional
+///    units, and physical register files: INT (which alone owns the
+///    load/store ports and D-cache) and FP -- optionally augmented (FPa)
+///    to execute the 22 offloaded integer opcodes at 1-cycle latency;
+///  * out-of-order issue, loads executing only once all prior store
+///    addresses are known (with store-to-load forwarding), in-order
+///    retirement.
+///
+/// The dynamic instruction stream comes from the functional VM's trace
+/// of a register-allocated module; the regalloc ArchIndex map supplies
+/// each operand's architectural register identity for renaming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_TIMING_SIMULATOR_H
+#define FPINT_TIMING_SIMULATOR_H
+
+#include "regalloc/RegAlloc.h"
+#include "sir/IR.h"
+#include "timing/BranchPredictor.h"
+#include "timing/Cache.h"
+#include "timing/MachineConfig.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <vector>
+
+namespace fpint {
+namespace timing {
+
+/// Aggregate statistics of one simulation.
+struct SimStats {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t IntIssued = 0; ///< Instructions issued in the INT subsystem.
+  uint64_t FpIssued = 0;  ///< Instructions issued in the FP subsystem.
+
+  uint64_t CondBranches = 0;
+  uint64_t Mispredicts = 0;
+
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t DCacheMisses = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t StoreForwards = 0;
+
+  uint64_t FpBusyCycles = 0;          ///< Cycles with >=1 FP issue.
+  uint64_t IntIdleFpBusyCycles = 0;   ///< ...where INT issued nothing.
+
+  double ipc() const {
+    return Cycles ? static_cast<double>(Instructions) /
+                        static_cast<double>(Cycles)
+                  : 0.0;
+  }
+  double branchAccuracy() const {
+    return CondBranches ? 1.0 - static_cast<double>(Mispredicts) /
+                                    static_cast<double>(CondBranches)
+                        : 1.0;
+  }
+  /// Section 7.3's load-imbalance metric: fraction of FP-busy cycles in
+  /// which the INT subsystem sat idle.
+  double intIdleWhileFpBusy() const {
+    return FpBusyCycles ? static_cast<double>(IntIdleFpBusyCycles) /
+                              static_cast<double>(FpBusyCycles)
+                        : 0.0;
+  }
+};
+
+/// Simulates traces against one machine configuration.
+class Simulator {
+public:
+  Simulator(const MachineConfig &Config, const regalloc::ModuleAlloc &Alloc);
+  ~Simulator();
+
+  /// Runs \p Trace to completion and returns the statistics.
+  SimStats run(const std::vector<vm::TraceEntry> &Trace);
+
+  const MachineConfig &config() const { return Config; }
+
+private:
+  struct Impl;
+  MachineConfig Config;
+  const regalloc::ModuleAlloc &Alloc;
+  std::unique_ptr<Impl> State;
+};
+
+/// Convenience: VM-trace + simulate in one call. The module must be
+/// register-allocated and produce a successful VM run.
+SimStats simulateModule(const sir::Module &M,
+                        const regalloc::ModuleAlloc &Alloc,
+                        const MachineConfig &Config,
+                        const std::vector<int32_t> &MainArgs = {});
+
+} // namespace timing
+} // namespace fpint
+
+#endif // FPINT_TIMING_SIMULATOR_H

@@ -1,0 +1,136 @@
+//===- vm/VM.h - Functional interpreter for sir modules -------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A functional (not timing) interpreter for sir modules. It serves three
+/// roles in the reproduction:
+///
+///  1. Correctness oracle: partitioned/allocated code must produce the
+///     same output stream as the original program.
+///  2. Profiler: per-basic-block execution counts feed the advanced
+///     partitioning scheme's cost model (the paper used basic-block
+///     execution profiles the same way).
+///  3. Trace generator: the dynamic instruction stream (with branch
+///     outcomes and effective addresses) drives the cycle-level timing
+///     simulator, mirroring the SimpleScalar-derived methodology.
+///
+/// Semantics: 32-bit two's-complement integer arithmetic with wrapping;
+/// division by zero yields 0 (remainder yields the dividend) so that
+/// randomly generated programs cannot trap; single-precision IEEE floats;
+/// byte-addressed little-endian memory with globals placed from 0x1000
+/// upward and frame stacks growing down from the top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_VM_VM_H
+#define FPINT_VM_VM_H
+
+#include "sir/IR.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fpint {
+namespace vm {
+
+/// One dynamically executed instruction, as consumed by the timing
+/// simulator.
+struct TraceEntry {
+  const sir::Instruction *I = nullptr;
+  uint32_t Pc = 0;      ///< Static instruction address (4-byte spaced).
+  uint32_t MemAddr = 0; ///< Effective address for loads/stores.
+  bool Taken = false;   ///< Outcome for conditional branches.
+};
+
+/// Per-module execution profile.
+struct Profile {
+  std::unordered_map<const sir::BasicBlock *, uint64_t> BlockCounts;
+  uint64_t DynInstrs = 0;
+
+  uint64_t countOf(const sir::BasicBlock *BB) const {
+    auto It = BlockCounts.find(BB);
+    return It == BlockCounts.end() ? 0 : It->second;
+  }
+};
+
+/// Interprets a module starting from "main".
+class VM {
+public:
+  struct Options {
+    uint32_t MemBytes = 16u << 20;  ///< Flat memory size.
+    uint64_t MaxSteps = 400000000;  ///< Dynamic instruction budget.
+    unsigned MaxCallDepth = 20000;  ///< Recursion guard.
+    bool CollectTrace = false;      ///< Record the dynamic trace.
+    bool CollectProfile = false;    ///< Record block execution counts.
+  };
+
+  struct Result {
+    bool Ok = false;
+    std::string Error;
+    uint64_t Steps = 0;
+    int32_t ExitValue = 0;
+    std::vector<int32_t> Output;
+  };
+
+  VM(const sir::Module &M, Options Opts);
+  explicit VM(const sir::Module &M) : VM(M, Options()) {}
+
+  /// Runs main(MainArgs...). The module's "main" must take exactly
+  /// MainArgs.size() formals.
+  Result run(const std::vector<int32_t> &MainArgs = {});
+
+  const std::vector<TraceEntry> &trace() const { return Trace; }
+  const Profile &profile() const { return Prof; }
+
+  /// Static code address of \p I (valid after construction).
+  uint32_t pcOf(const sir::Instruction &I) const;
+
+  /// Data address of global \p Name; 0 if unknown.
+  uint32_t globalAddress(const std::string &Name) const;
+
+private:
+  struct Frame {
+    const sir::Function *F = nullptr;
+    std::vector<int32_t> IntRegs;
+    std::vector<float> FpRegs;
+    uint32_t FramePtr = 0;
+  };
+
+  bool exec(const sir::Function &F, const std::vector<int32_t> &Args,
+            int32_t &RetValue, unsigned Depth);
+  uint32_t effectiveAddress(const Frame &Fr, const sir::MemOperand &Mem,
+                            bool &OkFlag);
+
+  bool loadWord(uint32_t Addr, int32_t &Out);
+  bool storeWord(uint32_t Addr, int32_t Value);
+  bool loadByte(uint32_t Addr, uint8_t &Out);
+  bool storeByte(uint32_t Addr, uint8_t Value);
+
+  const sir::Module &M;
+  Options Opts;
+  std::vector<uint8_t> Mem;
+  std::unordered_map<std::string, uint32_t> GlobalAddrs;
+  std::unordered_map<const sir::Function *, uint32_t> FuncBasePc;
+  uint32_t StackTop = 0;
+
+  // Run state.
+  uint64_t Steps = 0;
+  std::string RunError;
+  std::vector<int32_t> Output;
+  std::vector<TraceEntry> Trace;
+  Profile Prof;
+};
+
+/// Convenience: runs \p M and returns the result (no trace/profile).
+VM::Result runModule(const sir::Module &M,
+                     const std::vector<int32_t> &MainArgs = {},
+                     VM::Options Opts = VM::Options());
+
+} // namespace vm
+} // namespace fpint
+
+#endif // FPINT_VM_VM_H

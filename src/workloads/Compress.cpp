@@ -1,0 +1,150 @@
+//===- workloads/Compress.cpp - LZW-style coder (compress stand-in) -------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// compress95 is an LZW coder over a byte stream. The stand-in keeps its
+/// three characteristic pieces:
+///
+///  * a memory-free xorshift PRNG generating the input bytes -- the
+///    paper singles out compress's rand() as a function the partitioner
+///    moves entirely to FPa (Section 6.6);
+///  * a hash-probe loop whose hash feeds table *addresses* (pinned to
+///    INT) while code/checksum chains feed only stores and branches
+///    (offloadable);
+///  * per-symbol branch work tied to loaded values and, via the
+///    advanced scheme's duplication, to the loop induction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global inbuf 2048               # one pseudo-byte per word
+global hashtab 1026
+global outcodes 4096
+global g_seed 1 = 1804289383
+
+func gen_byte() {
+entry:
+  # compress's rand(): static seed, memory-free update chain. The
+  # advanced scheme offloads the whole chain, paying one copy-back for
+  # the returned value (Section 6.6 observes the paper's partitioner
+  # moving this entire function to FPa).
+  lw %seed, g_seed
+  sll %a, %seed, 13
+  xor %b, %seed, %a
+  srl %c, %b, 17
+  xor %d, %b, %c
+  sll %e, %d, 5
+  xor %f, %d, %e
+  sw %f, g_seed
+  ret %f
+}
+
+func main(%n) {
+entry:
+  li %i, 0
+  li %wsig, 99
+  la %inp, inbuf
+fill:                           # generate n pseudo-bytes
+  call %seed, gen_byte()
+  andi %byte, %seed, 255
+  sll %off, %i, 2
+  add %ea, %inp, %off
+  sw %byte, 0(%ea)
+  addi %i, %i, 1
+  slt %t, %i, %n
+  bne %t, %zero, fill
+
+  # LZW-ish scan: hash probes + code emission + running checksum.
+  li %j, 0
+  li %prev, 0
+  li %code, 256
+  li %crc, -1
+  li %k, 0
+  la %htab, hashtab
+  la %ocp, outcodes
+scan:
+  sll %joff, %j, 2
+  add %jea, %inp, %joff
+  lw %ch, 0(%jea)
+  lw %chv, 0(%jea)              # data-side reload for the value chains
+
+  # Hash feeds an address: its slice stays INT.
+  sll %h1, %prev, 4
+  xor %h2, %h1, %ch
+  andi %h, %h2, 1023
+  sll %hoff, %h, 2
+  add %hea, %htab, %hoff
+  lw %entry, 0(%hea)
+  lw %entry2, 4(%hea)
+
+  # Probe outcome: a pure loaded-value comparison chain (offloadable by
+  # the basic scheme, like the paper's reg_tick component).
+  sub %dif, %entry, %entry2
+  xor %probe, %dif, %chv
+  andi %pbit, %probe, 15
+  beq %pbit, %zero, hit
+
+  # Miss: install the pair and bump the code counter.
+  sll %pair1, %prev, 8
+  or %pair, %pair1, %ch
+  sw %pair, 0(%hea)
+  addi %code, %code, 1
+hit:
+  # Emit a code every symbol; the code chain feeds only store values.
+  andi %emit, %code, 4095
+  sll %koff, %k, 2
+  add %kea, %ocp, %koff
+  sw %emit, 0(%kea)
+  addi %k, %k, 1
+  andi %k, %k, 1023
+
+  # Checksum chain feeds only the final outs: offloadable.
+  sll %c1, %crc, 1
+  xor %c2, %c1, %chv
+  addi %c3, %c2, 7
+  move %crc, %c3
+
+  # Rolling window signature rooted at %ch: the character also feeds
+  # the hash (an address), so the basic scheme cannot move this chain;
+  # the advanced scheme copies ch into the FP file (Figure 5 style).
+  sll %w1, %ch, 3
+  sub %w2, %w1, %ch
+  xor %w3, %w2, %wsig
+  sll %w4, %w3, 1
+  addi %w5, %w4, 5
+  move %wsig, %w5
+
+  move %prev, %ch
+  addi %j, %j, 1
+  slt %jt, %j, %n
+  bne %jt, %zero, scan
+
+  # Self-check: checksum, signature, code counter, emitted codes.
+  out %crc
+  out %wsig
+  out %code
+  out %k
+  lw %s0, outcodes+40
+  out %s0
+  lw %s1, outcodes+400
+  out %s1
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeCompress() {
+  return assemble("compress", "LZW-style coder with xorshift input",
+                  "synthetic byte stream (train 400, ref 1800)", Source,
+                  {400}, {1800});
+}

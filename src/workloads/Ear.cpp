@@ -1,0 +1,135 @@
+//===- workloads/Ear.cpp - FP filter bank (ear stand-in, Section 7.5) -----===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ear (SPEC92) models the human ear with floating-point filter banks,
+/// but carries substantial *integer* side computation (thresholding,
+/// zero-crossing and histogram bookkeeping). The paper found 18% of its
+/// instructions -- integer branch and store-value slices -- offloadable,
+/// for a matching 18% speedup. The stand-in pairs an FIR filter cascade
+/// (native FP) with integer envelope chains hanging off the converted
+/// samples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global samples 2048
+global filtered 2048
+global envelope 2048
+global crossings 1
+global amphist 64
+
+func main(%n) {
+entry:
+  # Synthesize an integer waveform, then run an FP filter over it.
+  li %i, 0
+genloop:
+  # Quadratic waveform synthesis: the multiply pins this generator
+  # chain to INT (real signal synthesis is multiply-heavy), keeping the
+  # offloadable fraction down to the filter loop's envelope work.
+  mul %w1, %i, %i
+  srl %w2, %w1, 3
+  xor %w2b, %w2, %i
+  andi %w3, %w2b, 1023
+  addi %wav, %w3, -512
+  la %sb, samples
+  sll %ioff, %i, 2
+  add %iea, %sb, %ioff
+  sw %wav, 0(%iea)
+  # Amplitude histogram: the sample value indexes the bin, pinning the
+  # generator chain to INT under both schemes (as in real ear, where
+  # generated samples immediately feed table lookups).
+  srl %bin, %w3, 4
+  sll %bo, %bin, 2
+  la %hb, amphist
+  add %hea, %hb, %bo
+  lw %hv, 0(%hea)
+  addi %hv1, %hv, 1
+  sw %hv1, 0(%hea)
+  addi %i, %i, 1
+  slt %it, %i, %n
+  bne %it, %zero, genloop
+
+  fli %a0, 0.25
+  fli %a1, 0.5
+  fli %a2, 0.25
+  fli %fprev, 0.0
+  li %j, 1
+  li %ncross, 0
+  li %energy, 0
+filter:
+  la %sb2, samples
+  sll %joff, %j, 2
+  add %jea, %sb2, %joff
+
+  # Three-tap FIR on converted samples (native FP subsystem).
+  l.s %x0b, -4(%jea)
+  cvtif %x0, %x0b
+  l.s %x1b, 0(%jea)
+  cvtif %x1, %x1b
+  l.s %x2b, 4(%jea)
+  cvtif %x2, %x2b
+  fmul %m0, %x0, %a0
+  fmul %m1, %x1, %a1
+  fmul %m2, %x2, %a2
+  fadd %s01, %m0, %m1
+  fadd %y, %s01, %m2
+  la %fb, filtered
+  add %fea, %fb, %joff
+  cvtfi %yi, %y
+  s.s %yi, 0(%fea)
+
+  # Integer envelope: a short chain from the loaded raw sample into
+  # the envelope store and the energy/zero-crossing counters -- the
+  # offloadable integer work inside an FP program that gives the
+  # paper's Section 7.5 "ear" effect (~18% of the instructions).
+  lw %raw, 0(%jea)
+  sra %mag1, %raw, 31
+  xor %mag2, %raw, %mag1
+  sub %mag, %mag2, %mag1
+  la %eb, envelope
+  add %eea, %eb, %joff
+  sw %mag, 0(%eea)
+
+  bltz %raw, crossed
+  jmp nocross
+crossed:
+  addi %ncross, %ncross, 1
+nocross:
+  add %energy, %energy, %mag
+
+  addi %j, %j, 1
+  addi %lim, %n, -1
+  slt %jt, %j, %lim
+  bne %jt, %zero, filter
+
+  out %ncross
+  out %energy
+  lw %o1, filtered+100
+  out %o1
+  lw %o2, envelope+200
+  out %o2
+  lw %o3, amphist+32
+  out %o3
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeEar() {
+  Workload W = assemble(
+      "ear", "FIR filter bank with integer envelope side-chains",
+      "synthetic waveform (train 500, ref 1900)", Source, {500}, {1900});
+  W.IsFloatingPoint = true;
+  return W;
+}

@@ -1,0 +1,139 @@
+//===- workloads/Gcc.cpp - Register bookkeeping (gcc stand-in) ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// gcc spends much of its time in passes that sweep pseudo-register
+/// tables testing bitmasks and updating per-register bookkeeping -- the
+/// paper's own running example (Figure 3) is gcc's invalidate_for_call.
+/// The stand-in runs three such sweeps per "compiled function":
+/// invalidate_for_call itself, a use-count update keyed on a second
+/// bitmask, and a cost-propagation pass whose values chain through
+/// loads and stores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global regs_invalidated_by_call 1 = 151065093
+global regs_ever_live 1 = 920350134
+global reg_tick 128
+global reg_n_refs 128
+global reg_cost 128
+global deleted 1
+
+func delete_equiv_reg(%regno) {
+entry:
+  lw %d, deleted
+  add %d2, %d, %regno
+  sw %d2, deleted
+  ret
+}
+
+func main(%funcs) {
+entry:
+  li %f, 0
+outer:
+  # Pass 1: invalidate_for_call (the paper's Figure 3).
+  li %regno, 0
+inval:
+  lw %mask, regs_invalidated_by_call
+  srav %bit, %mask, %regno
+  andi %b1, %bit, 1
+  beq %b1, %zero, skip1
+  call delete_equiv_reg(%regno)
+  la %base, reg_tick
+  andi %r6, %regno, 63
+  sll %idx, %r6, 2
+  add %ea, %base, %idx
+  lw %tick, 0(%ea)
+  bltz %tick, skip1
+  addi %tick1, %tick, 1
+  sw %tick1, 0(%ea)
+skip1:
+  addi %regno, %regno, 1
+  slti %t1, %regno, 66
+  bne %t1, %zero, inval
+
+  # Pass 2: reference counting keyed on a different mask.
+  li %rn, 0
+refs:
+  lw %live, regs_ever_live
+  srav %lb, %live, %rn
+  andi %lb1, %lb, 1
+  beq %lb1, %zero, skip2
+  la %nb, reg_n_refs
+  andi %rn6, %rn, 63
+  sll %ridx, %rn6, 2
+  add %rea, %nb, %ridx
+  lw %nref, 0(%rea)
+  sll %w, %nref, 1
+  xor %w2, %w, %rn
+  andi %w3, %w2, 65535
+  sw %w3, 0(%rea)
+  # The updated count indexes the cost table (couples this chain to an
+  # address, keeping gcc's advanced partition moderate).
+  andi %ci, %w3, 63
+  sll %cio, %ci, 2
+  la %cb0, reg_cost
+  add %ciea, %cb0, %cio
+  lw %cv, 0(%ciea)
+  addi %cv1, %cv, 1
+  sw %cv1, 0(%ciea)
+skip2:
+  addi %rn, %rn, 1
+  slti %t2, %rn, 66
+  bne %t2, %zero, refs
+
+  # Pass 3: cost propagation; loaded costs chain into stored costs.
+  li %cn, 1
+costs:
+  la %cb, reg_cost
+  sll %cidx, %cn, 2
+  add %cea, %cb, %cidx
+  lw %cost, 0(%cea)
+  addi %pidx, %cidx, -4
+  add %pea, %cb, %pidx
+  lw %pcost, 0(%pea)
+  add %sum, %cost, %pcost
+  sra %half, %sum, 1
+  addi %adj, %half, 3
+  slti %big, %adj, 5000
+  bne %big, %zero, small
+  li %adj, 0
+small:
+  sw %adj, 0(%cea)
+  addi %cn, %cn, 1
+  slti %t3, %cn, 64
+  bne %t3, %zero, costs
+
+  addi %f, %f, 1
+  slt %ft, %f, %funcs
+  bne %ft, %zero, outer
+
+  lw %o1, deleted
+  out %o1
+  lw %o2, reg_tick+20
+  out %o2
+  lw %o3, reg_n_refs+40
+  out %o3
+  lw %o4, reg_cost+200
+  out %o4
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeGcc() {
+  return assemble("gcc", "register-table sweeps (invalidate_for_call etc.)",
+                  "synthetic pseudo-register tables (train 4, ref 24)",
+                  Source, {4}, {24});
+}

@@ -1,0 +1,132 @@
+//===- workloads/Go.cpp - Board evaluation (go stand-in) ------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// go's hot code walks board arrays computing neighbour influence and
+/// liberty-like counts: the integer work is dominated by address
+/// arithmetic over the board (pinned to INT), leaving a small basic
+/// partition; the advanced scheme roughly doubles it by duplicating the
+/// point index into the FP file so the data-dependent scoring branches
+/// can move (the paper reports exactly this 2x for go).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global board 441                # 21x21 with a border
+global influence 441
+global history 256
+global score 2
+
+func main(%passes) {
+entry:
+  # Seed the board with a deterministic pattern: 0 empty, 1/2 stones.
+  li %i, 0
+seedloop:
+  sll %p1, %i, 3
+  xor %p2, %p1, %i
+  srl %p3, %p2, 2
+  add %p4, %p3, %i
+  andi %v, %p4, 3
+  slti %isbig, %v, 3
+  bne %isbig, %zero, store_v
+  li %v, 0
+store_v:
+  la %bp, board
+  sll %ioff, %i, 2
+  add %bea, %bp, %ioff
+  sw %v, 0(%bea)
+  addi %i, %i, 1
+  slti %it, %i, 441
+  bne %it, %zero, seedloop
+
+  li %pass, 0
+passloop:
+  li %pt, 22                    # first interior point
+  li %black, 0
+  li %white, 0
+ptloop:
+  la %bb, board
+  sll %poff, %pt, 2
+  add %pea, %bb, %poff
+
+  # Four neighbour loads: pure address arithmetic (INT).
+  lw %self, 0(%pea)
+  lw %north, -84(%pea)
+  lw %south, 84(%pea)
+  lw %west, -4(%pea)
+  lw %east, 4(%pea)
+
+  # Influence of the neighbourhood: chains from loaded values into the
+  # influence store -- offloadable by the basic scheme.
+  sll %n2, %north, 2
+  sll %s2, %south, 2
+  add %ns, %n2, %s2
+  add %ew, %west, %east
+  add %inf, %ns, %ew
+  sll %selfw, %self, 4
+  add %inf2, %inf, %selfw
+  la %ib, influence
+  add %iea, %ib, %poff
+  sw %inf2, 0(%iea)
+
+  # The influence value indexes a history table (move ordering in real
+  # go engines): that address use pins the whole influence chain to INT,
+  # keeping go's basic partition small as in the paper.
+  andi %hidx, %inf2, 255
+  sll %hoff, %hidx, 2
+  la %hb, history
+  add %hea, %hb, %hoff
+  lw %hval, 0(%hea)
+  addi %hval2, %hval, 1
+  sw %hval2, 0(%hea)
+
+  # Stone counting: branches on loaded values.
+  slti %isb, %self, 2
+  beq %isb, %zero, count_white
+  beq %self, %zero, nextpt
+  addi %black, %black, 1
+  jmp nextpt
+count_white:
+  addi %white, %white, 1
+nextpt:
+  addi %pt, %pt, 1
+  slti %ptt, %pt, 419
+  bne %ptt, %zero, ptloop
+
+  # Fold the counts into the running score.
+  lw %sc, score
+  sub %diff, %black, %white
+  add %sc2, %sc, %diff
+  sw %sc2, score
+  addi %pass, %pass, 1
+  slt %pt2, %pass, %passes
+  bne %pt2, %zero, passloop
+
+  lw %o1, score
+  out %o1
+  lw %o2, influence+400
+  out %o2
+  lw %o3, influence+800
+  out %o3
+  lw %o4, history+128
+  out %o4
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeGo() {
+  return assemble("go", "board influence and stone counting sweeps",
+                  "synthetic 21x21 board (train 2, ref 10)", Source, {2},
+                  {10});
+}

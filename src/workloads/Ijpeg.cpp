@@ -1,0 +1,194 @@
+//===- workloads/Ijpeg.cpp - Integer DCT blocks (ijpeg stand-in) ----------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ijpeg's kernels run integer DCT/quantization over 8x8 blocks: long
+/// arithmetic slices from loaded pixels into stored coefficients, with
+/// occasional integer multiplies (the paper measures ~3% of ijpeg's
+/// instructions as multiply/divide). Multiplies are not FPa-offloadable,
+/// so under the basic scheme they pin the butterflies that consume their
+/// results -- the advanced scheme copies the multiply results into the
+/// FP file and recovers the rest, reproducing ijpeg's signature jump
+/// (10.7% -> 32.1% in Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global image 1024               # 16 blocks of 8x8 samples
+global coeffs 1024
+global quant 64
+
+func main(%blocks) {
+entry:
+  # Deterministic "image" data.
+  li %i, 0
+imgfill:
+  sll %x1, %i, 7
+  xor %x2, %x1, %i
+  srl %x3, %x2, 3
+  addi %x4, %x3, 17
+  andi %pix, %x4, 255
+  la %im, image
+  sll %ioff, %i, 2
+  add %iea, %im, %ioff
+  sw %pix, 0(%iea)
+  addi %i, %i, 1
+  slti %it, %i, 1024
+  bne %it, %zero, imgfill
+
+  # Quantization table.
+  li %q, 0
+qfill:
+  andi %qv1, %q, 7
+  addi %qv, %qv1, 3
+  la %qb, quant
+  sll %qoff, %q, 2
+  add %qea, %qb, %qoff
+  sw %qv, 0(%qea)
+  addi %q, %q, 1
+  slti %qt, %q, 64
+  bne %qt, %zero, qfill
+
+  li %blk, 0
+blkloop:
+  andi %b15, %blk, 15
+  sll %boff, %b15, 8            # 64 words * 4 bytes per block
+  li %row, 0
+rowloop:
+  la %ib, image
+  add %rb0, %ib, %boff
+  sll %roff, %row, 5            # 8 words * 4 bytes per row
+  add %rb, %rb0, %roff
+
+  # Load an 8-sample row.
+  lw %s0, 0(%rb)
+  lw %s1, 4(%rb)
+  lw %s2, 8(%rb)
+  lw %s3, 12(%rb)
+  lw %s4, 16(%rb)
+  lw %s5, 20(%rb)
+  lw %s6, 24(%rb)
+  lw %s7, 28(%rb)
+
+  # Butterfly stage 1 (pure adds/subs: offloadable values).
+  add %t0, %s0, %s7
+  sub %t7, %s0, %s7
+  add %t1, %s1, %s6
+  sub %t6, %s1, %s6
+  add %t2, %s2, %s5
+  sub %t5, %s2, %s5
+  add %t3, %s3, %s4
+  sub %t4, %s3, %s4
+
+  # Stage 2 with scaling multiplies (mul pins these chains for the
+  # basic scheme; the advanced scheme copies the products to FPa).
+  add %u0, %t0, %t3
+  sub %u3, %t0, %t3
+  add %u1, %t1, %t2
+  sub %u2, %t1, %t2
+  li %c1, 181
+  mul %m5, %t5, %c1
+  sra %m5s, %m5, 8
+  mul %m6, %t6, %c1
+  sra %m6s, %m6, 8
+
+  # Stage 3: outputs mix multiplied and plain terms.
+  add %o0, %u0, %u1
+  sub %o4, %u0, %u1
+  add %o2, %u3, %m5s
+  sub %o6, %u3, %m5s
+  add %o1, %t7, %m6s
+  sub %o7, %t7, %m6s
+  add %o3, %u2, %t4
+  sub %o5, %u2, %t4
+
+  # Quantize and store the row of coefficients.
+  la %cb, coeffs
+  add %cb0, %cb, %boff
+  add %crb, %cb0, %roff
+  la %qb2, quant
+  add %qrb, %qb2, %roff
+  lw %q0, 0(%qrb)
+  srav %d0, %o0, %q0
+  sw %d0, 0(%crb)
+  lw %q1, 4(%qrb)
+  srav %d1, %o1, %q1
+  sw %d1, 4(%crb)
+  lw %q2, 8(%qrb)
+  srav %d2, %o2, %q2
+  sw %d2, 8(%crb)
+  lw %q3, 12(%qrb)
+  srav %d3, %o3, %q3
+  sw %d3, 12(%crb)
+  lw %q4, 16(%qrb)
+  srav %d4, %o4, %q4
+  sw %d4, 16(%crb)
+  lw %q5, 20(%qrb)
+  srav %d5, %o5, %q5
+  sw %d5, 20(%crb)
+  lw %q6, 24(%qrb)
+  srav %d6, %o6, %q6
+  sw %d6, 24(%crb)
+  lw %q7, 28(%qrb)
+  srav %d7, %o7, %q7
+  sw %d7, 28(%crb)
+
+  addi %row, %row, 1
+  slti %rt, %row, 8
+  bne %rt, %zero, rowloop
+
+  # Range-limit pass over the block's low coefficients: pure
+  # load -> clamp -> store chains, offloadable by the basic scheme
+  # (jpeg's sample range limiting has this shape).
+  li %rl, 0
+rangeloop:
+  la %cb3, coeffs
+  add %cb4, %cb3, %boff
+  sll %rloff, %rl, 2
+  add %rlea, %cb4, %rloff
+  lw %cv, 0(%rlea)
+  slti %toolow, %cv, -255
+  beq %toolow, %zero, nothigh
+  li %cv, -255
+nothigh:
+  slti %inr, %cv, 256
+  bne %inr, %zero, inrange
+  li %cv, 255
+inrange:
+  sll %cv2, %cv, 1
+  sub %cv3, %cv2, %cv
+  sw %cv3, 0(%rlea)
+  addi %rl, %rl, 1
+  slti %rlt, %rl, 16
+  bne %rlt, %zero, rangeloop
+
+  addi %blk, %blk, 1
+  slt %bt, %blk, %blocks
+  bne %bt, %zero, blkloop
+
+  lw %r0, coeffs+100
+  out %r0
+  lw %r1, coeffs+2052
+  out %r1
+  lw %r2, coeffs+3280
+  out %r2
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeIjpeg() {
+  return assemble("ijpeg", "integer DCT + quantization over 8x8 blocks",
+                  "synthetic 16-block image (train 24, ref 120)", Source,
+                  {24}, {120});
+}

@@ -1,0 +1,139 @@
+//===- workloads/Li.cpp - List interpreter (xlisp/li stand-in) ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// li (xlisp) is call-intensive with many tiny functions operating on
+/// cons cells: almost every value either comes from memory, feeds
+/// memory addresses (cell pointers), or crosses a call boundary -- all
+/// of which pin computation to the INT subsystem. The paper observes
+/// that li's FPa partition is small and that the advanced scheme barely
+/// improves on the basic one; the stand-in keeps that shape with a
+/// cons-cell arena, car/cdr/cons helpers, recursive list sums, and an
+/// eval-like dispatch loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global arena 4096               # cons cells: [car, cdr] word pairs
+global freeptr 1
+global nil 1
+
+func cons(%car, %cdr) {
+entry:
+  lw %fp, freeptr
+  sll %off, %fp, 3
+  la %ab, arena
+  add %ea, %ab, %off
+  sw %car, 0(%ea)
+  sw %cdr, 4(%ea)
+  addi %fp2, %fp, 1
+  sw %fp2, freeptr
+  ret %ea
+}
+
+func car(%cell) {
+entry:
+  lw %v, 0(%cell)
+  ret %v
+}
+
+func cdr(%cell) {
+entry:
+  lw %v, 4(%cell)
+  ret %v
+}
+
+func sum_list(%cell) {
+entry:
+  bne %cell, %zero, walk
+  li %z, 0
+  ret %z
+walk:
+  call %head, car(%cell)
+  call %tail, cdr(%cell)
+  call %rest, sum_list(%tail)
+  add %s, %head, %rest
+  ret %s
+}
+
+func map_double(%cell) {
+entry:
+  beq %cell, %zero, done
+  call %v, car(%cell)
+  sll %v2, %v, 1
+  sw %v2, 0(%cell)
+  call %next, cdr(%cell)
+  call map_double(%next)
+done:
+  ret
+}
+
+func main(%iters) {
+entry:
+  li %it, 0
+iterloop:
+  # Reset the arena and build a 48-element list.
+  li %zero0, 0
+  sw %zero0, freeptr
+  li %lst, 0
+  li %k, 0
+build:
+  xori %val, %k, 21
+  andi %val2, %val, 63
+  call %lst2, cons(%val2, %lst)
+  move %lst, %lst2
+  addi %k, %k, 1
+  slti %kt, %k, 48
+  bne %kt, %zero, build
+
+  call map_double(%lst)
+  call %total, sum_list(%lst)
+  out %total
+
+  # eval-style dispatch: walk the list, branching on tag bits.
+  li %acc, 0
+  move %cur, %lst
+evalloop:
+  beq %cur, %zero, evaldone
+  lw %v3, 0(%cur)               # inlined car (a macro in xlisp)
+  andi %tag, %v3, 3
+  beq %tag, %zero, tag0
+  slti %t1, %tag, 2
+  bne %t1, %zero, tag1
+  add %acc, %acc, %v3
+  jmp advance
+tag1:
+  sub %acc, %acc, %v3
+  jmp advance
+tag0:
+  xor %acc, %acc, %v3
+advance:
+  call %cur2, cdr(%cur)
+  move %cur, %cur2
+  jmp evalloop
+evaldone:
+  out %acc
+
+  addi %it, %it, 1
+  slt %itt, %it, %iters
+  bne %itt, %zero, iterloop
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeLi() {
+  return assemble("li", "cons-cell interpreter with tiny hot functions",
+                  "synthetic 48-cell lists (train 3, ref 16)", Source, {3},
+                  {16});
+}

@@ -1,0 +1,156 @@
+//===- workloads/M88ksim.cpp - ISA interpreter (m88ksim stand-in) ---------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// m88ksim interprets Motorola 88100 binaries: fetch a word, decode
+/// fields, dispatch on the opcode, and emulate the ALU semantics into a
+/// simulated register file. Decode and emulation chains hang off the
+/// loaded instruction word (offloadable), while register-file indexing
+/// is address work (INT) -- a shape that gives m88ksim the largest
+/// advanced partition and speedup in the paper, along with the
+/// load-imbalance effect of Section 7.3 (INT often idles while FPa
+/// executes the emulation chains).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global progmem 512              # synthetic guest program
+global gregs 32                 # guest register file
+global condflag 1
+
+func main(%steps) {
+entry:
+  # Synthesize a guest program: op in bits 8..10, fields in low bits.
+  li %i, 0
+genloop:
+  sll %g1, %i, 9
+  xor %g2, %g1, %i
+  srl %g3, %g2, 4
+  xor %g4, %g3, %g2
+  la %pm, progmem
+  sll %goff, %i, 2
+  add %gea, %pm, %goff
+  sw %g4, 0(%gea)
+  addi %i, %i, 1
+  slti %gt, %i, 512
+  bne %gt, %zero, genloop
+
+  li %pc, 0
+  li %n, 0
+execloop:
+  # Fetch.
+  la %pm2, progmem
+  andi %pcw, %pc, 511
+  sll %poff, %pcw, 2
+  add %pea, %pm2, %poff
+  lw %inst, 0(%pea)
+
+  # Decode: field extraction chains from the instruction word. The
+  # register numbers feed register-file addresses (INT); the opcode and
+  # immediate feed only branches and values (offloadable).
+  srl %rs1, %inst, 3
+  andi %rs1m, %rs1, 31
+  srl %rs2, %inst, 16
+  andi %rs2m, %rs2, 31
+  srl %rdf, %inst, 21
+  andi %rdm, %rdf, 31
+  srl %opc, %inst, 8
+  andi %op, %opc, 7
+
+  # Source register reads.
+  la %rf, gregs
+  sll %r1off, %rs1m, 2
+  add %r1ea, %rf, %r1off
+  lw %v1, 0(%r1ea)
+  sll %r2off, %rs2m, 2
+  add %r2ea, %rf, %r2off
+  lw %v2, 0(%r2ea)
+
+  # Dispatch on the opcode (branches on a loaded-value chain).
+  beq %op, %zero, do_add
+  slti %c1, %op, 2
+  bne %c1, %zero, do_sub
+  slti %c2, %op, 3
+  bne %c2, %zero, do_and
+  slti %c3, %op, 4
+  bne %c3, %zero, do_or
+  slti %c4, %op, 5
+  bne %c4, %zero, do_xor
+  slti %c5, %op, 6
+  bne %c5, %zero, do_shift
+  jmp do_addi
+
+do_add:
+  add %res, %v1, %v2
+  jmp writeback
+do_sub:
+  sub %res, %v1, %v2
+  jmp writeback
+do_and:
+  and %res, %v1, %v2
+  jmp writeback
+do_or:
+  or %res, %v1, %v2
+  jmp writeback
+do_xor:
+  xor %res, %v1, %v2
+  jmp writeback
+do_shift:
+  andi %sh, %v2, 15
+  srav %res, %v1, %sh
+  jmp writeback
+do_addi:
+  addi %res, %v1, 13
+
+writeback:
+  # Emulated condition codes: negative/zero/parity chains plus a carry
+  # estimate, all value work hanging off the result (offloadable by the
+  # basic scheme, like the reg_tick component of Figure 4).
+  slt %neg, %res, %zero
+  slti %zf, %res, 1
+  sll %cc1, %neg, 2
+  sll %cc2, %zf, 1
+  or %cc, %cc1, %cc2
+  sltu %carry, %res, %v1
+  or %ccfull, %cc, %carry
+  sw %ccfull, condflag
+
+  # Destination write (address from decode).
+  sll %rdoff, %rdm, 2
+  add %rdea, %rf, %rdoff
+  sw %res, 0(%rdea)
+
+  addi %pc, %pc, 1
+  addi %n, %n, 1
+  slt %nt, %n, %steps
+  bne %nt, %zero, execloop
+
+  lw %o0, gregs+12
+  out %o0
+  lw %o1, gregs+64
+  out %o1
+  lw %o2, gregs+124
+  out %o2
+  lw %o3, condflag
+  out %o3
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeM88ksim() {
+  return assemble("m88ksim",
+                  "fetch/decode/execute interpreter for a synthetic ISA",
+                  "synthetic 512-word guest program (train 1500, ref 9000)",
+                  Source, {1500}, {9000});
+}

@@ -1,0 +1,150 @@
+//===- workloads/Perl.cpp - String hashing/matching (perl stand-in) -------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// perl's hot paths hash identifier strings into symbol tables and scan
+/// text for matches. Hash values feed bucket *addresses*, so hashing is
+/// pinned to INT; the scoring/occurrence chains that hang off loaded
+/// characters are offloadable, and the advanced scheme additionally
+/// frees the scan-position branch slices by duplicating the cursor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global text 4096                # one pseudo-character per word
+global buckets 512
+global counts 512
+global needle 8 = 5 12 9 20 9 14 7 0
+
+func main(%passes) {
+entry:
+  li %n, 1200
+  # Deterministic "text" over a 26-letter alphabet.
+  li %i, 0
+textfill:
+  sll %x1, %i, 11
+  xor %x2, %x1, %i
+  srl %x3, %x2, 5
+  add %x4, %x3, %x2
+  la %tb, text
+  sll %ioff, %i, 2
+  add %iea, %tb, %ioff
+  # ch = x4 % 26 via repeated mask-and-fold approximation.
+  andi %chm, %x4, 31
+  slti %ok, %chm, 26
+  bne %ok, %zero, havech
+  addi %chm, %chm, -6
+havech:
+  sw %chm, 0(%iea)
+  addi %i, %i, 1
+  slt %it, %i, %n
+  bne %it, %zero, textfill
+
+  li %pass, 0
+passloop:
+
+  # Pass 1: hash 8-character windows into buckets.
+  li %p, 0
+  li %hits, 0
+hashloop:
+  la %tb2, text
+  sll %poff, %p, 2
+  add %pea, %tb2, %poff
+  lw %c0, 0(%pea)
+  lw %c1, 4(%pea)
+  lw %c2, 8(%pea)
+  lw %c3, 12(%pea)
+
+  # h = ((c0*33 + c1)*33 + c2)*33 + c3, built from shifts/adds; it
+  # indexes the bucket table, pinning this chain to INT.
+  sll %h1, %c0, 5
+  add %h2, %h1, %c0
+  add %h3, %h2, %c1
+  sll %h4, %h3, 5
+  add %h5, %h4, %h3
+  add %h6, %h5, %c2
+  sll %h7, %h6, 5
+  add %h8, %h7, %h6
+  add %h9, %h8, %c3
+  andi %h, %h9, 511
+
+  sll %hoff, %h, 2
+  la %bb, buckets
+  add %bea, %bb, %hoff
+  lw %bv, 0(%bea)
+  addi %bv2, %bv, 1
+  sw %bv2, 0(%bea)
+
+  # Occurrence scoring: chains from the characters into a counter
+  # (value/branch work, offloadable).
+  sub %d01, %c0, %c1
+  bne %d01, %zero, nodouble
+  addi %hits, %hits, 1
+nodouble:
+  addi %p, %p, 1
+  addi %lim, %n, -8
+  slt %pt, %p, %lim
+  bne %pt, %zero, hashloop
+  out %hits
+
+  # Pass 2: needle matching (loaded-value compare chains).
+  li %q, 0
+  li %found, 0
+matchloop:
+  la %tb3, text
+  sll %qoff, %q, 2
+  add %qea, %tb3, %qoff
+  li %k, 0
+  li %good, 1
+inner:
+  sll %koff, %k, 2
+  add %nea0, %qea, %koff
+  lw %tc, 0(%nea0)
+  la %nb, needle
+  add %nea1, %nb, %koff
+  lw %nc, 0(%nea1)
+  beq %tc, %nc, chmatch
+  li %good, 0
+  jmp innerdone
+chmatch:
+  addi %k, %k, 1
+  slti %kt, %k, 6
+  bne %kt, %zero, inner
+innerdone:
+  beq %good, %zero, nomatch
+  addi %found, %found, 1
+nomatch:
+  addi %q, %q, 1
+  addi %qlim, %n, -8
+  slt %qt, %q, %qlim
+  bne %qt, %zero, matchloop
+  out %found
+
+  addi %pass, %pass, 1
+  slt %passt, %pass, %passes
+  bne %passt, %zero, passloop
+
+  lw %o1, buckets+96
+  out %o1
+  lw %o2, counts+4
+  out %o2
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makePerl() {
+  return assemble("perl", "window hashing and needle matching over text",
+                  "synthetic 26-letter text (train 1 pass, ref 5 passes)",
+                  Source, {1}, {5});
+}

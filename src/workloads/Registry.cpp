@@ -1,0 +1,92 @@
+//===- workloads/Registry.cpp - Workload registry --------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+#include "sir/Parser.h"
+#include "sir/Verifier.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fpint;
+using namespace fpint::workloads;
+
+Workload workloads::detail::assemble(const char *Name,
+                                     const char *Description,
+                                     const char *Input, const char *Source,
+                                     std::vector<int32_t> TrainArgs,
+                                     std::vector<int32_t> RefArgs,
+                                     bool IsFloatingPoint) {
+  sir::ParseResult PR = sir::parseModule(Source);
+  if (!PR.ok()) {
+    std::fprintf(stderr, "workload '%s' failed to parse: %s (line %u)\n",
+                 Name, PR.Error.c_str(), PR.Line);
+    std::abort();
+  }
+  auto Errors = sir::verify(*PR.M);
+  if (!Errors.empty()) {
+    std::fprintf(stderr, "workload '%s' failed to verify: %s\n", Name,
+                 Errors[0].c_str());
+    std::abort();
+  }
+  Workload W;
+  W.Name = Name;
+  W.Description = Description;
+  W.Input = Input;
+  W.M = std::move(PR.M);
+  W.TrainArgs = std::move(TrainArgs);
+  W.RefArgs = std::move(RefArgs);
+  W.IsFloatingPoint = IsFloatingPoint;
+  return W;
+}
+
+std::vector<Workload> workloads::intWorkloads() {
+  std::vector<Workload> Result;
+  Result.push_back(detail::makeCompress());
+  Result.push_back(detail::makeGcc());
+  Result.push_back(detail::makeGo());
+  Result.push_back(detail::makeIjpeg());
+  Result.push_back(detail::makeLi());
+  Result.push_back(detail::makeM88ksim());
+  Result.push_back(detail::makePerl());
+  return Result;
+}
+
+std::vector<Workload> workloads::fpWorkloads() {
+  std::vector<Workload> Result;
+  Result.push_back(detail::makeEar());
+  Result.push_back(detail::makeSwim());
+  Result.push_back(detail::makeTomcatv());
+  return Result;
+}
+
+Workload workloads::workloadByName(const std::string &Name) {
+  if (Name == "compress")
+    return detail::makeCompress();
+  if (Name == "gcc")
+    return detail::makeGcc();
+  if (Name == "go")
+    return detail::makeGo();
+  if (Name == "ijpeg")
+    return detail::makeIjpeg();
+  if (Name == "li")
+    return detail::makeLi();
+  if (Name == "m88ksim")
+    return detail::makeM88ksim();
+  if (Name == "perl")
+    return detail::makePerl();
+  if (Name == "ear")
+    return detail::makeEar();
+  if (Name == "swim")
+    return detail::makeSwim();
+  if (Name == "tomcatv")
+    return detail::makeTomcatv();
+  std::fprintf(stderr, "unknown workload '%s'\n", Name.c_str());
+  std::abort();
+}
+
+std::vector<std::string> workloads::allWorkloadNames() {
+  return {"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "ear",
+          "swim", "tomcatv"};
+}

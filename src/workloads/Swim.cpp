@@ -1,0 +1,129 @@
+//===- workloads/Swim.cpp - FP stencil (swim stand-in, Section 7.5) -------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shallow-water-style five-point FP stencil. Its integer work is
+/// almost entirely grid addressing (pinned to INT), so the partitioning
+/// schemes find essentially nothing to offload -- the paper's Section
+/// 7.5 observation that most FP programs see negligible change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global gridA 1156               # 34x34 with a border
+global gridB 1156
+
+func main(%iters) {
+entry:
+  # Initialize the grid with converted integer bit patterns.
+  li %i, 0
+init:
+  andi %v1, %i, 255
+  addi %v2, %v1, 1
+  la %ga, gridA
+  sll %ioff, %i, 2
+  add %iea, %ga, %ioff
+  sw %v2, 0(%iea)
+  addi %i, %i, 1
+  slti %it, %i, 1156
+  bne %it, %zero, init
+
+  # Convert to float in place.
+  li %c, 0
+conv:
+  la %gc, gridA
+  sll %coff, %c, 2
+  add %cea, %gc, %coff
+  l.s %bits, 0(%cea)
+  cvtif %fv, %bits
+  s.s %fv, 0(%cea)
+  addi %c, %c, 1
+  slti %ct, %c, 1156
+  bne %ct, %zero, conv
+
+  fli %w, 0.2
+  li %t, 0
+timestep:
+  li %r, 1
+rowloop:
+  li %col, 1
+colloop:
+  # idx = r*34 + col
+  sll %r32, %r, 5
+  sll %r2, %r, 1
+  add %ridx, %r32, %r2
+  add %idx, %ridx, %col
+  sll %off, %idx, 2
+  la %src, gridA
+  add %pc, %src, %off
+
+  l.s %center, 0(%pc)
+  l.s %north, -136(%pc)
+  l.s %south, 136(%pc)
+  l.s %west, -4(%pc)
+  l.s %east, 4(%pc)
+  fadd %ns, %north, %south
+  fadd %we, %west, %east
+  fadd %sum4, %ns, %we
+  fadd %sum5, %sum4, %center
+  fmul %avg, %sum5, %w
+
+  la %dst, gridB
+  add %pd, %dst, %off
+  s.s %avg, 0(%pd)
+
+  addi %col, %col, 1
+  slti %colt, %col, 33
+  bne %colt, %zero, colloop
+  addi %r, %r, 1
+  slti %rt, %r, 33
+  bne %rt, %zero, rowloop
+
+  # Copy B back to A (grid swap).
+  li %k, 0
+swap:
+  la %gb2, gridB
+  sll %koff, %k, 2
+  add %kb, %gb2, %koff
+  l.s %tmp, 0(%kb)
+  la %ga2, gridA
+  add %ka, %ga2, %koff
+  s.s %tmp, 0(%ka)
+  addi %k, %k, 1
+  slti %kt, %k, 1156
+  bne %kt, %zero, swap
+
+  addi %t, %t, 1
+  slt %tt, %t, %iters
+  bne %tt, %zero, timestep
+
+  la %out1, gridA
+  l.s %f1, 140(%out1)
+  cvtfi %i1, %f1
+  cp_to_int %o1, %i1
+  out %o1
+  l.s %f2, 2300(%out1)
+  cvtfi %i2, %f2
+  cp_to_int %o2, %i2
+  out %o2
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeSwim() {
+  Workload W = assemble("swim", "five-point FP stencil over a 34x34 grid",
+                        "synthetic grid (train 2, ref 8)", Source, {2}, {8});
+  W.IsFloatingPoint = true;
+  return W;
+}

@@ -1,0 +1,145 @@
+//===- workloads/Tomcatv.cpp - FP mesh relaxation (tomcatv stand-in) ------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tomcatv (SPEC92/95 FP) generates meshes by iterative relaxation with
+/// residual-based convergence checks. Its integer side splits between
+/// grid addressing (pinned) and a small residual-threshold counting
+/// chain off converted values -- slightly more offloadable than swim's
+/// pure stencil but still "negligible change" territory in the paper's
+/// Section 7.5 terms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsImpl.h"
+
+using namespace fpint::workloads;
+
+namespace {
+
+const char *Source = R"(
+global meshx 676               # 26x26 grid
+global meshy 676
+global resid 676
+global stats 4
+
+func main(%iters) {
+entry:
+  # Seed both coordinate grids.
+  li %i, 0
+seed:
+  andi %sx, %i, 127
+  la %mx, meshx
+  sll %ioff, %i, 2
+  add %xea, %mx, %ioff
+  sw %sx, 0(%xea)
+  addi %sy1, %i, 64
+  andi %sy, %sy1, 127
+  la %my, meshy
+  add %yea, %my, %ioff
+  sw %sy, 0(%yea)
+  addi %i, %i, 1
+  slti %it, %i, 676
+  bne %it, %zero, seed
+
+  # Convert to float in place.
+  li %c, 0
+conv:
+  la %mx2, meshx
+  sll %coff, %c, 2
+  add %cxa, %mx2, %coff
+  l.s %xb, 0(%cxa)
+  cvtif %xf, %xb
+  s.s %xf, 0(%cxa)
+  la %my2, meshy
+  add %cya, %my2, %coff
+  l.s %yb, 0(%cya)
+  cvtif %yf, %yb
+  s.s %yf, 0(%cya)
+  addi %c, %c, 1
+  slti %ct, %c, 676
+  bne %ct, %zero, conv
+
+  fli %w, 0.25
+  fli %thresh, 3.0
+  li %t, 0
+sweep:
+  li %r, 1
+  li %nbig, 0
+rowloop:
+  li %col, 1
+colloop:
+  # idx = r*26 + col
+  sll %r16, %r, 4
+  sll %r8, %r, 3
+  add %r24, %r16, %r8
+  sll %r2, %r, 1
+  add %ridx, %r24, %r2
+  add %idx, %ridx, %col
+  sll %off, %idx, 2
+  la %bx, meshx
+  add %px, %bx, %off
+
+  # Relax the x grid toward the 4-neighbour average.
+  l.s %cx, 0(%px)
+  l.s %nx, -104(%px)
+  l.s %sx2, 104(%px)
+  l.s %wx, -4(%px)
+  l.s %ex, 4(%px)
+  fadd %ns, %nx, %sx2
+  fadd %we, %wx, %ex
+  fadd %sum, %ns, %we
+  fmul %avg, %sum, %w
+  fsub %res, %avg, %cx
+  fadd %newx, %cx, %res
+  s.s %newx, 0(%px)
+
+  # Residual magnitude and the convergence counter: a short integer
+  # chain off the converted residual (the offloadable sliver).
+  fcmplt %big, %thresh, %res
+  fbeqz %big, small
+  addi %nbig, %nbig, 1
+small:
+  cvtfi %ri, %res
+  cp_to_int %rint, %ri
+  la %rb, resid
+  add %rea, %rb, %off
+  sw %rint, 0(%rea)
+
+  addi %col, %col, 1
+  slti %colt, %col, 25
+  bne %colt, %zero, colloop
+  addi %r, %r, 1
+  slti %rt, %r, 25
+  bne %rt, %zero, rowloop
+
+  sw %nbig, stats
+  addi %t, %t, 1
+  slt %tt, %t, %iters
+  bne %tt, %zero, sweep
+
+  lw %o1, stats
+  out %o1
+  lw %o2, resid+240
+  out %o2
+  la %ox, meshx
+  l.s %f1, 432(%ox)
+  cvtfi %i1, %f1
+  cp_to_int %o3, %i1
+  out %o3
+  ret
+}
+)";
+
+} // namespace
+
+Workload fpint::workloads::detail::makeTomcatv() {
+  Workload W = assemble("tomcatv", "mesh relaxation with residual counting",
+                        "synthetic 26x26 mesh (train 2, ref 9)", Source,
+                        {2}, {9});
+  W.IsFloatingPoint = true;
+  return W;
+}

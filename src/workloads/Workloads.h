@@ -1,0 +1,75 @@
+//===- workloads/Workloads.h - SPEC95-like synthetic programs -------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on SPECint95 (Table 2: compress, gcc, go, ijpeg,
+/// li, m88ksim, perl) plus floating-point programs for Section 7.5
+/// (notably ear from SPEC92). SPEC inputs and sources are proprietary,
+/// so this reproduction substitutes one synthetic program per benchmark,
+/// written in the sir IR and designed to exercise the same program
+/// character that drives the paper's results:
+///
+///   compress  LZW-style coder: hash chains and a memory-free PRNG
+///             (whose loop moves entirely to FPa, Section 6.6)
+///   gcc       register-set bookkeeping over pseudo-register tables
+///             (the paper's own Figure 3 example is from gcc)
+///   go        board evaluation: dense addressing with data-dependent
+///             branching -- small basic partition, advanced ~doubles it
+///   ijpeg     integer DCT-style transforms: long store-value slices
+///             plus a few integer multiplies (the paper notes ~3%)
+///   li        call-intensive list interpreter with tiny functions --
+///             calling conventions cap the partition, advanced ~= basic
+///   m88ksim   instruction-set interpreter: wide decode slices offload
+///             heavily but leave the INT side load-imbalanced (7.3)
+///   perl      string hashing and matching over byte buffers
+///   ear       FP filter bank with offloadable integer side-chains
+///             (the paper saw 18% offload and 18% speedup)
+///   swim      FP stencil whose integer work is almost pure addressing
+///             (negligible change, like most of Section 7.5)
+///
+/// Every program self-checks by emitting checksums through "out"; the
+/// pipeline requires partitioned/allocated variants to match them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_WORKLOADS_WORKLOADS_H
+#define FPINT_WORKLOADS_WORKLOADS_H
+
+#include "sir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fpint {
+namespace workloads {
+
+struct Workload {
+  std::string Name;        ///< Table 2 benchmark name.
+  std::string Description; ///< What the synthetic stand-in computes.
+  std::string Input;       ///< Table 2 input label (synthetic analogue).
+  std::unique_ptr<sir::Module> M;
+  std::vector<int32_t> TrainArgs; ///< Profiling-run main() arguments.
+  std::vector<int32_t> RefArgs;   ///< Measurement-run main() arguments.
+  bool IsFloatingPoint = false;
+};
+
+/// The seven SPECint95 stand-ins, in Table 2 order.
+std::vector<Workload> intWorkloads();
+
+/// The Section 7.5 floating-point programs.
+std::vector<Workload> fpWorkloads();
+
+/// Builds one workload by name ("compress", ..., "ear", "swim").
+Workload workloadByName(const std::string &Name);
+
+/// All workload names, integer first.
+std::vector<std::string> allWorkloadNames();
+
+} // namespace workloads
+} // namespace fpint
+
+#endif // FPINT_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,44 @@
+//===- workloads/WorkloadsImpl.h - Per-benchmark factory functions --------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal: one factory per synthetic benchmark (see Workloads.h for
+/// the mapping to the paper's Table 2). Each factory parses an embedded
+/// sir program and fixes its training/reference inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_WORKLOADS_WORKLOADSIMPL_H
+#define FPINT_WORKLOADS_WORKLOADSIMPL_H
+
+#include "workloads/Workloads.h"
+
+namespace fpint {
+namespace workloads {
+namespace detail {
+
+Workload makeCompress();
+Workload makeGcc();
+Workload makeGo();
+Workload makeIjpeg();
+Workload makeLi();
+Workload makeM88ksim();
+Workload makePerl();
+Workload makeEar();
+Workload makeSwim();
+Workload makeTomcatv();
+
+/// Parses \p Source (asserting success) and assembles a Workload.
+Workload assemble(const char *Name, const char *Description,
+                  const char *Input, const char *Source,
+                  std::vector<int32_t> TrainArgs,
+                  std::vector<int32_t> RefArgs, bool IsFloatingPoint = false);
+
+} // namespace detail
+} // namespace workloads
+} // namespace fpint
+
+#endif // FPINT_WORKLOADS_WORKLOADSIMPL_H

@@ -1,0 +1,344 @@
+//===- tests/CostModelTest.cpp - Section 6.1/6.2 cost machinery -----------===//
+
+#include "analysis/CFG.h"
+#include "analysis/RDG.h"
+#include "partition/AdvancedPartitioner.h"
+#include "partition/BasicPartitioner.h"
+#include "partition/CostModel.h"
+#include "partition/DotExport.h"
+#include "sir/Parser.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fpint;
+using namespace fpint::partition;
+using namespace fpint::sir;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char *Src) {
+  ParseResult PR = parseModule(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  return std::move(PR.M);
+}
+
+struct Fixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<analysis::CFG> Cfg;
+  std::unique_ptr<analysis::RDG> G;
+  std::unique_ptr<vm::VM> Prof;
+  std::unique_ptr<analysis::BlockWeights> W;
+
+  explicit Fixture(const char *Src) {
+    M = parseOrDie(Src);
+    F = M->functionByName("main");
+    vm::VM::Options Opts;
+    Opts.CollectProfile = true;
+    Prof = std::make_unique<vm::VM>(*M, Opts);
+    auto R = Prof->run();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Cfg = std::make_unique<analysis::CFG>(*F);
+    G = std::make_unique<analysis::RDG>(*F, *Cfg);
+    W = std::make_unique<analysis::BlockWeights>(*M, &Prof->profile());
+  }
+
+  unsigned nodeOf(Opcode Op) const {
+    unsigned Found = ~0u;
+    F->forEachInstr([&](const Instruction &I) {
+      if (I.op() == Op && Found == ~0u)
+        Found = G->primaryNode(I);
+    });
+    EXPECT_NE(Found, ~0u);
+    return Found;
+  }
+};
+
+// A loop whose induction chain is the paper's Figure 6 duplication
+// candidate: li (once) feeding addi (loop-carried) feeding address and
+// branch work.
+const char *InductionLoop = R"(
+global t 100
+
+func main() {
+entry:
+  li %i, 0
+loop:
+  sll %off, %i, 2
+  la %b, t
+  add %ea, %b, %off
+  sw %i, 0(%ea)
+  addi %i, %i, 1
+  slti %c, %i, 100
+  bne %c, %zero, loop
+  lw %o, t+40
+  out %o
+  ret
+}
+)";
+
+TEST(CostModel, ExecCountsComeFromProfile) {
+  Fixture Fx(InductionLoop);
+  CostModel CM(*Fx.G, *Fx.W, CostParams());
+  // The loop body runs 100 times; entry once.
+  unsigned Addi = Fx.nodeOf(Opcode::AddI);
+  unsigned Li = Fx.nodeOf(Opcode::Li);
+  EXPECT_DOUBLE_EQ(CM.execCount(Addi), 100.0);
+  EXPECT_DOUBLE_EQ(CM.execCount(Li), 1.0);
+  EXPECT_DOUBLE_EQ(CM.copyingCost(Addi),
+                   CostParams().CopyOverhead * 100.0);
+}
+
+TEST(CostModel, DupCostFixpointIgnoresSelfLoops) {
+  Fixture Fx(InductionLoop);
+  CostParams P;
+  CostModel CM(*Fx.G, *Fx.W, P);
+  Assignment A(*Fx.G);
+  for (unsigned N = 0; N < Fx.G->numNodes(); ++N)
+    A.NodeSide[N] = Side::Int;
+  CM.recompute(A);
+
+  unsigned Addi = Fx.nodeOf(Opcode::AddI);
+  unsigned Li = Fx.nodeOf(Opcode::Li);
+  // dup(li) = o_dupl * 1 (no parents).
+  EXPECT_DOUBLE_EQ(CM.duplicationCost(Li), P.DupOverhead);
+  // dup(addi) = o_dupl*100 + min(copy(li), dup(li)); the self edge from
+  // the loop-carried dependence contributes nothing.
+  EXPECT_DOUBLE_EQ(CM.duplicationCost(Addi),
+                   P.DupOverhead * 100.0 + P.DupOverhead);
+  // Duplication beats copying for the induction chain (Figure 6).
+  EXPECT_TRUE(CM.preferDuplicate(Addi));
+  EXPECT_LT(CM.commCost(Addi), CM.copyingCost(Addi));
+}
+
+TEST(CostModel, FpaParentsAreFree) {
+  Fixture Fx(InductionLoop);
+  CostModel CM(*Fx.G, *Fx.W, CostParams());
+  Assignment A(*Fx.G);
+  // With the li's node already in FPa, addi's duplication no longer
+  // charges for it.
+  unsigned Li = Fx.nodeOf(Opcode::Li);
+  unsigned Addi = Fx.nodeOf(Opcode::AddI);
+  for (unsigned N = 0; N < Fx.G->numNodes(); ++N)
+    A.NodeSide[N] = Side::Int;
+  A.NodeSide[Li] = Side::Fpa;
+  CM.recompute(A);
+  EXPECT_DOUBLE_EQ(CM.duplicationCost(Addi),
+                   CostParams().DupOverhead * 100.0);
+}
+
+TEST(CostModel, IneligibleNodesNeverDuplicate) {
+  Fixture Fx(InductionLoop);
+  CostModel CM(*Fx.G, *Fx.W, CostParams());
+  Assignment A(*Fx.G);
+  CM.recompute(A);
+  // Loads and stores cannot be duplicated into FPa.
+  unsigned LoadVal = ~0u;
+  Fx.F->forEachInstr([&](const Instruction &I) {
+    if (I.isLoad() && LoadVal == ~0u)
+      LoadVal = Fx.G->valueNode(I);
+  });
+  ASSERT_NE(LoadVal, ~0u);
+  EXPECT_TRUE(std::isinf(CM.duplicationCost(LoadVal)));
+  EXPECT_FALSE(CM.preferDuplicate(LoadVal));
+  // Their communication cost falls back to copying.
+  EXPECT_DOUBLE_EQ(CM.commCost(LoadVal), CM.copyingCost(LoadVal));
+}
+
+TEST(CostModel, RequiresDupCheaperThanCopy) {
+  Fixture Fx(InductionLoop);
+  CostParams Bad;
+  Bad.CopyOverhead = 2.0;
+  Bad.DupOverhead = 3.0; // o_dupl >= o_copy: the paper forbids this.
+  EXPECT_DEATH(CostModel(*Fx.G, *Fx.W, Bad), "o_dupl < o_copy");
+}
+
+TEST(ValidateAssignment, FlagsMissingCommunication) {
+  Fixture Fx(InductionLoop);
+  Assignment A(*Fx.G);
+  for (unsigned N = 0; N < Fx.G->numNodes(); ++N)
+    A.NodeSide[N] = Side::Int;
+  // Put the branch in FPa without copying its INT parent.
+  unsigned Bne = Fx.nodeOf(Opcode::Bne);
+  A.NodeSide[Bne] = Side::Fpa;
+  auto Errs = validateAssignment(A);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("without copy/duplicate"), std::string::npos);
+}
+
+TEST(ValidateAssignment, FlagsPinnedNodeInFpa) {
+  Fixture Fx(InductionLoop);
+  Assignment A(*Fx.G);
+  unsigned StoreAddr = ~0u;
+  Fx.F->forEachInstr([&](const Instruction &I) {
+    if (I.isStore() && StoreAddr == ~0u)
+      StoreAddr = Fx.G->addressNode(I);
+  });
+  A.NodeSide[StoreAddr] = Side::Fpa;
+  auto Errs = validateAssignment(A);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("pinned"), std::string::npos);
+}
+
+TEST(ValidateAssignment, FlagsIneligibleDuplicate) {
+  Fixture Fx(InductionLoop);
+  Assignment A(*Fx.G);
+  unsigned LoadVal = ~0u;
+  Fx.F->forEachInstr([&](const Instruction &I) {
+    if (I.isLoad() && LoadVal == ~0u)
+      LoadVal = Fx.G->valueNode(I);
+  });
+  A.Dup[LoadVal] = true;
+  auto Errs = validateAssignment(A);
+  ASSERT_FALSE(Errs.empty());
+}
+
+TEST(DotExport, ContainsNodesEdgesAndPartitionShading) {
+  Fixture Fx(InductionLoop);
+  std::string Plain = toDot(*Fx.G);
+  EXPECT_NE(Plain.find("digraph rdg"), std::string::npos);
+  EXPECT_NE(Plain.find("->"), std::string::npos);
+  EXPECT_NE(Plain.find("[a]"), std::string::npos); // Split address half.
+  EXPECT_NE(Plain.find("[v]"), std::string::npos);
+  EXPECT_EQ(Plain.find("lightblue"), std::string::npos);
+
+  Assignment A = partitionAdvanced(*Fx.G, *Fx.W);
+  std::string Shaded = toDot(*Fx.G, &A);
+  EXPECT_NE(Shaded.find("lightblue"), std::string::npos)
+      << "expected some FPa shading:\n"
+      << Shaded;
+}
+
+TEST(LoadBalance, CapReducesOffload) {
+  Fixture Fx(InductionLoop);
+  CostParams Greedy;
+  Assignment AG = partitionAdvanced(*Fx.G, *Fx.W, Greedy);
+
+  CostParams Capped;
+  Capped.FpaShareCap = 0.05;
+  Assignment AC = partitionAdvanced(*Fx.G, *Fx.W, Capped);
+  EXPECT_LE(AC.fpaNodeCount(), AG.fpaNodeCount());
+  EXPECT_TRUE(validateAssignment(AC).empty());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Figure 7-style Phase 1/2 scenarios: a small component behind a copy is
+// evicted; a large one earns its copy.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(Figure7, SmallComponentBehindCopyIsEvicted) {
+  // x is pinned (feeds an address); u and v are two cheap consumers
+  // feeding store values. Offloading {u, v} costs one copy of x
+  // (o_copy = 4n) for a benefit of 2n: Phase 2 must evict.
+  Fixture Fx(R"(
+global t 8
+global s 8
+
+func main() {
+entry:
+  li %i, 0
+loop:
+  la %b, t
+  sll %xoff, %i, 2
+  add %xea, %b, %xoff
+  lw %x, 0(%xea)
+  andi %xm, %x, 7
+  sll %addr2, %xm, 2
+  add %aea, %b, %addr2
+  lw %dummy, 0(%aea)
+  sll %u, %x, 1
+  la %sb, s
+  add %sea, %sb, %xoff
+  sw %u, 0(%sea)
+  xor %v, %x, %i
+  sw %v, 4(%sea)
+  addi %i, %i, 1
+  slti %t1, %i, 8
+  bne %t1, %zero, loop
+  lw %o, s+4
+  out %o
+  ret
+}
+)");
+  Assignment A = partitionAdvanced(*Fx.G, *Fx.W);
+  EXPECT_TRUE(validateAssignment(A).empty());
+  // The sll/xor consumers stay INT: no copies survive for them.
+  unsigned Copies = 0;
+  for (unsigned N = 0; N < Fx.G->numNodes(); ++N)
+    Copies += A.Copy[N] + A.Dup[N];
+  const sir::Instruction *U = nullptr, *V = nullptr;
+  Fx.F->forEachInstr([&](const sir::Instruction &I) {
+    if (I.op() == Opcode::Sll && I.imm() == 1)
+      U = &I;
+    if (I.op() == Opcode::Xor)
+      V = &I;
+  });
+  ASSERT_NE(U, nullptr);
+  ASSERT_NE(V, nullptr);
+  EXPECT_FALSE(A.isFpa(Fx.G->primaryNode(*U)));
+  EXPECT_FALSE(A.isFpa(Fx.G->primaryNode(*V)));
+}
+
+TEST(Figure7, LargeComponentEarnsItsCopy) {
+  // Same shape, but the consumers of x form a long chain: benefit 7n
+  // against one o_copy*n copy keeps the component in FPa (the paper's
+  // Example 2, Profit = 18).
+  Fixture Fx(R"(
+global t 8
+global s 8
+
+func main() {
+entry:
+  li %i, 0
+loop:
+  la %b, t
+  sll %xoff, %i, 2
+  add %xea, %b, %xoff
+  lw %x, 0(%xea)
+  andi %xm, %x, 7
+  sll %addr2, %xm, 2
+  add %aea, %b, %addr2
+  lw %dummy, 0(%aea)
+  sll %p1, %x, 1
+  xor %p2, %p1, %x
+  addi %p3, %p2, 5
+  sll %p4, %p3, 2
+  sub %p5, %p4, %p3
+  xor %p6, %p5, %p1
+  andi %p7, %p6, 4095
+  la %sb, s
+  add %sea, %sb, %xoff
+  sw %p7, 0(%sea)
+  addi %i, %i, 1
+  slti %t1, %i, 8
+  bne %t1, %zero, loop
+  lw %o, s+4
+  out %o
+  ret
+}
+)");
+  Assignment A = partitionAdvanced(*Fx.G, *Fx.W);
+  EXPECT_TRUE(validateAssignment(A).empty());
+  const sir::Instruction *P7 = nullptr;
+  Fx.F->forEachInstr([&](const sir::Instruction &I) {
+    if (I.op() == Opcode::AndI && I.imm() == 4095)
+      P7 = &I;
+  });
+  ASSERT_NE(P7, nullptr);
+  EXPECT_TRUE(A.isFpa(Fx.G->primaryNode(*P7)))
+      << toDot(*Fx.G, &A);
+  // Exactly the x load value carries the communication.
+  unsigned Comm = 0;
+  for (unsigned N = 0; N < Fx.G->numNodes(); ++N)
+    Comm += A.Copy[N] + A.Dup[N];
+  EXPECT_GE(Comm, 1u);
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+//===- tests/ExamplesTest.cpp - Shipped .sir programs stay valid ----------===//
+
+#include "core/Pipeline.h"
+#include "sir/Parser.h"
+#include "sir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#ifndef FPINT_SOURCE_DIR
+#define FPINT_SOURCE_DIR "."
+#endif
+
+using namespace fpint;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+class ShippedExamples : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ShippedExamples, ParseVerifyAndSurviveThePipeline) {
+  std::string Path =
+      std::string(FPINT_SOURCE_DIR) + "/examples/sir/" + GetParam();
+  sir::ParseResult PR = sir::parseModule(readFile(Path));
+  ASSERT_TRUE(PR.ok()) << GetParam() << ": " << PR.Error << " at line "
+                       << PR.Line;
+  EXPECT_TRUE(sir::verify(*PR.M).empty()) << GetParam();
+
+  for (int S = 0; S < 3; ++S) {
+    core::PipelineConfig Cfg;
+    Cfg.Scheme = static_cast<partition::Scheme>(S);
+    core::PipelineRun Run = core::compileAndMeasure(*PR.M, Cfg);
+    ASSERT_TRUE(Run.ok()) << GetParam() << "/"
+                          << partition::schemeName(Cfg.Scheme) << ": "
+                          << (Run.Errors.empty() ? "output mismatch"
+                                                 : Run.Errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, ShippedExamples,
+                         ::testing::Values("vector_sum.sir",
+                                           "invalidate_for_call.sir",
+                                           "fir_filter.sir"),
+                         [](const auto &Info) {
+                           std::string Name = Info.param;
+                           return Name.substr(0, Name.find('.'));
+                         });
+
+} // namespace

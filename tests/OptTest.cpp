@@ -1,0 +1,337 @@
+//===- tests/OptTest.cpp - Machine-independent optimizer ------------------===//
+
+#include "opt/Passes.h"
+#include "sir/Parser.h"
+#include "sir/Printer.h"
+#include "sir/Verifier.h"
+#include "support/Rng.h"
+#include "vm/VM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::opt;
+using namespace fpint::sir;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char *Src) {
+  ParseResult PR = parseModule(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  return std::move(PR.M);
+}
+
+/// Optimizes and checks verification + output equivalence.
+OptReport optimizeAndCheck(Module &M) {
+  auto Before = vm::runModule(M);
+  EXPECT_TRUE(Before.Ok) << Before.Error;
+  OptReport R = optimizeModule(M);
+  auto Errs = verify(M);
+  EXPECT_TRUE(Errs.empty()) << Errs[0] << "\n" << toString(M);
+  auto After = vm::runModule(M);
+  EXPECT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.Output, After.Output) << toString(M);
+  return R;
+}
+
+TEST(Opt, FoldsConstantChains) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 6
+  li %b, 7
+  mul %c, %a, %b
+  addi %d, %c, -2
+  sll %e, %d, 1
+  out %e
+  ret
+}
+)");
+  OptReport R = optimizeAndCheck(*M);
+  EXPECT_GT(R.ConstantsFolded, 0u);
+  // The whole chain collapses to a single li feeding out.
+  const Function &F = *M->functionByName("main");
+  unsigned NonLi = 0;
+  F.forEachInstr([&](const Instruction &I) {
+    if (I.op() != Opcode::Li && I.op() != Opcode::Out &&
+        I.op() != Opcode::Ret)
+      ++NonLi;
+  });
+  EXPECT_EQ(NonLi, 0u) << toString(F);
+  auto Run = vm::runModule(*M);
+  EXPECT_EQ(Run.Output, (std::vector<int32_t>{80}));
+}
+
+TEST(Opt, AppliesAlgebraicIdentities) {
+  auto M = parseOrDie(R"(
+func main(%x) {
+entry:
+  addi %a, %x, 0
+  ori %b, %a, 0
+  sll %c, %b, 0
+  andi %d, %c, -1
+  out %d
+  ret
+}
+)");
+  auto Before = vm::runModule(*M, {1234});
+  ASSERT_TRUE(Before.Ok);
+  OptReport R = optimizeModule(*M);
+  EXPECT_GE(R.ConstantsFolded, 4u);
+  auto After = vm::runModule(*M, {1234});
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(After.Output, Before.Output);
+  // After copy propagation + DCE, out reads the formal directly.
+  const Function &F = *M->functionByName("main");
+  EXPECT_LE(F.numInstrIds(), 3u) << toString(F);
+}
+
+TEST(Opt, PropagatesCopies) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 5
+  move %b, %a
+  move %c, %b
+  add %d, %c, %b
+  out %d
+  ret
+}
+)");
+  OptReport R = optimizeAndCheck(*M);
+  EXPECT_GT(R.CopiesPropagated, 0u);
+  EXPECT_GT(R.DeadInstructionsRemoved, 0u); // The moves die.
+}
+
+TEST(Opt, EliminatesCommonSubexpressions) {
+  auto M = parseOrDie(R"(
+global t 4 = 11 22
+
+func main() {
+entry:
+  lw %a, t
+  lw %b, t+4
+  add %x, %a, %b
+  add %y, %a, %b
+  sub %z, %x, %y
+  out %z
+  add %w, %x, %y
+  out %w
+  ret
+}
+)");
+  OptReport R = optimizeAndCheck(*M);
+  EXPECT_GT(R.SubexpressionsEliminated, 0u);
+  auto Run = vm::runModule(*M);
+  EXPECT_EQ(Run.Output, (std::vector<int32_t>{0, 66}));
+}
+
+TEST(Opt, CseRespectsRedefinitions) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 5
+  li %b, 3
+  add %x, %a, %b
+  li %a, 100
+  add %y, %a, %b
+  sub %d, %y, %x
+  out %d
+  ret
+}
+)");
+  optimizeAndCheck(*M);
+  auto Run = vm::runModule(*M);
+  // 103 - 8 = 95; a buggy CSE would produce 0.
+  EXPECT_EQ(Run.Output, (std::vector<int32_t>{95}));
+}
+
+TEST(Opt, DeadCodeKeepsSideEffects) {
+  auto M = parseOrDie(R"(
+global g 2
+
+func main() {
+entry:
+  li %dead1, 1
+  li %dead2, 2
+  add %dead3, %dead1, %dead2
+  li %live, 7
+  sw %live, g
+  lw %back, g
+  out %back
+  ret
+}
+)");
+  OptReport R = optimizeAndCheck(*M);
+  EXPECT_EQ(R.DeadInstructionsRemoved, 3u);
+  const Function &F = *M->functionByName("main");
+  unsigned Stores = 0, Loads = 0;
+  F.forEachInstr([&](const Instruction &I) {
+    Stores += I.isStore();
+    Loads += I.isLoad();
+  });
+  EXPECT_EQ(Stores, 1u);
+  EXPECT_EQ(Loads, 1u);
+}
+
+TEST(Opt, NeverRemovesLoads) {
+  // A dead load could fault; the optimizer must keep it.
+  auto M = parseOrDie(R"(
+global g 1 = 5
+
+func main() {
+entry:
+  lw %unused, g
+  li %x, 1
+  out %x
+  ret
+}
+)");
+  optimizeAndCheck(*M);
+  const Function &F = *M->functionByName("main");
+  unsigned Loads = 0;
+  F.forEachInstr([&](const Instruction &I) { Loads += I.isLoad(); });
+  EXPECT_EQ(Loads, 1u);
+}
+
+TEST(Opt, ConstantsDoNotCrossBlockBoundaries) {
+  // The folder is block-local by design: a join with different
+  // reaching constants must not fold.
+  auto M = parseOrDie(R"(
+func main(%p) {
+entry:
+  li %v, 1
+  blez %p, other
+  jmp join
+other:
+  li %v, 2
+join:
+  addi %w, %v, 10
+  out %w
+  ret
+}
+)");
+  auto Run1 = vm::runModule(*M, {1});
+  auto Run2 = vm::runModule(*M, {-1});
+  optimizeModule(*M);
+  auto Run1b = vm::runModule(*M, {1});
+  auto Run2b = vm::runModule(*M, {-1});
+  EXPECT_EQ(Run1.Output, Run1b.Output);
+  EXPECT_EQ(Run2.Output, Run2b.Output);
+}
+
+TEST(Opt, IdempotentOnWorkloads) {
+  // Optimizing twice must find nothing new the second time, and never
+  // change workload outputs.
+  for (const std::string &Name : workloads::allWorkloadNames()) {
+    workloads::Workload W = workloads::workloadByName(Name);
+    auto Before = vm::runModule(*W.M, W.RefArgs);
+    ASSERT_TRUE(Before.Ok) << Name;
+    optimizeModule(*W.M);
+    OptReport Second = optimizeModule(*W.M);
+    EXPECT_EQ(Second.total(), 0u) << Name;
+    auto After = vm::runModule(*W.M, W.RefArgs);
+    ASSERT_TRUE(After.Ok) << Name;
+    EXPECT_EQ(After.Output, Before.Output) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: optimization never changes observable behaviour.
+//===----------------------------------------------------------------------===//
+
+std::string randomOptProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string Src = "global arr 16 = ";
+  for (int I = 0; I < 16; ++I)
+    Src += std::to_string(R.nextInRange(-9, 9)) + " ";
+  Src += "\nfunc main() {\nentry:\n";
+  unsigned NumVals = 5;
+  for (unsigned I = 0; I < NumVals; ++I)
+    Src += "  li %v" + std::to_string(I) + ", " +
+           std::to_string(R.nextInRange(-4, 20)) + "\n";
+  Src += "  li %i, 0\n  la %p, arr\nloop:\n";
+  for (unsigned S = 0; S < 10 + R.nextBelow(8); ++S) {
+    unsigned A = R.nextBelow(NumVals), B = R.nextBelow(NumVals),
+             D = R.nextBelow(NumVals);
+    std::string SA = "%v" + std::to_string(A), SB = "%v" + std::to_string(B),
+                SD = "%v" + std::to_string(D);
+    switch (R.nextBelow(9)) {
+    case 0:
+      Src += "  add " + SD + ", " + SA + ", " + SB + "\n";
+      break;
+    case 1:
+      Src += "  move " + SD + ", " + SA + "\n";
+      break;
+    case 2:
+      Src += "  li " + SD + ", " + std::to_string(R.nextInRange(0, 99)) +
+             "\n";
+      break;
+    case 3:
+      Src += "  addi " + SD + ", " + SA + ", " +
+             std::to_string(R.nextInRange(-2, 2)) + "\n";
+      break;
+    case 4:
+      Src += "  add " + SD + ", " + SA + ", " + SB + "\n  add " + SD +
+             ", " + SA + ", " + SB + "\n"; // CSE bait (second redefines).
+      break;
+    case 5:
+      Src += "  mul " + SD + ", " + SA + ", " + SB + "\n  andi " + SD +
+             ", " + SD + ", 255\n";
+      break;
+    case 6: {
+      Src += "  andi %o" + std::to_string(S) + ", " + SA + ", 15\n  sll "
+             "%q" + std::to_string(S) + ", %o" + std::to_string(S) +
+             ", 2\n  add %e" + std::to_string(S) + ", %p, %q" +
+             std::to_string(S) + "\n  lw " + SD + ", 0(%e" +
+             std::to_string(S) + ")\n";
+      break;
+    }
+    case 7: {
+      Src += "  andi %so" + std::to_string(S) + ", " + SA + ", 15\n  sll "
+             "%sq" + std::to_string(S) + ", %so" + std::to_string(S) +
+             ", 2\n  add %se" + std::to_string(S) + ", %p, %sq" +
+             std::to_string(S) + "\n  sw " + SB + ", 0(%se" +
+             std::to_string(S) + ")\n";
+      break;
+    }
+    case 8:
+      Src += "  slti %c" + std::to_string(S) + ", " + SA +
+             ", 10\n  beq %c" + std::to_string(S) + ", %zero, sk" +
+             std::to_string(S) + "\n  xori " + SD + ", " + SD +
+             ", 3\n sk" + std::to_string(S) + ":\n";
+      break;
+    }
+  }
+  Src += "  addi %i, %i, 1\n  slti %t, %i, 9\n  bne %t, %zero, loop\n";
+  for (unsigned I = 0; I < NumVals; ++I)
+    Src += "  out %v" + std::to_string(I) + "\n";
+  Src += "  ret\n}\n";
+  return Src;
+}
+
+class OptProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptProperty, OptimizationPreservesBehaviour) {
+  std::string Src = randomOptProgram(static_cast<uint64_t>(GetParam()) *
+                                     6151);
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
+  auto Before = vm::runModule(*PR.M);
+  ASSERT_TRUE(Before.Ok) << Before.Error << "\n" << Src;
+  OptReport R = optimizeModule(*PR.M);
+  (void)R;
+  auto Errs = verify(*PR.M);
+  ASSERT_TRUE(Errs.empty()) << Errs[0] << "\n" << toString(*PR.M);
+  auto After = vm::runModule(*PR.M);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  ASSERT_EQ(After.Output, Before.Output)
+      << "seed " << GetParam() << "\n"
+      << Src << "\n==>\n"
+      << toString(*PR.M);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptProperty, ::testing::Range(0, 30));
+
+} // namespace

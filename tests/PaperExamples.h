@@ -1,0 +1,152 @@
+//===- tests/PaperExamples.h - Shared program fixtures from the paper -----===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sir transcriptions of the paper's running examples, shared by the
+/// analysis and partitioning tests:
+///
+///  * Figure 2: floating-point / integer vector sum.
+///  * Figure 3: the invalidate_for_call fragment from gcc, whose RDG the
+///    paper draws and partitions in Figures 4-6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_TESTS_PAPEREXAMPLES_H
+#define FPINT_TESTS_PAPEREXAMPLES_H
+
+namespace fpint {
+namespace fixtures {
+
+/// Integer vector sum c[] = a[] + b[] (the integer variant of the
+/// paper's Figure 2 example). The add feeding only the store value is
+/// offloadable without copies.
+inline const char *IntVectorSum = R"(
+global a 16 = 3 1 4 1 5 9 2 6 5 3 5 8 9 7 9 3
+global b 16 = 2 7 1 8 2 8 1 8 2 8 4 5 9 0 4 5
+global c 16
+
+func main() {
+entry:
+  li %i, 0
+  li %n, 16
+  la %pa, a
+  la %pb, b
+  la %pc, c
+loop:
+  sll %off, %i, 2
+  add %ea, %pa, %off
+  lw %va, 0(%ea)
+  add %eb, %pb, %off
+  lw %vb, 0(%eb)
+  add %vc, %va, %vb
+  add %ec, %pc, %off
+  sw %vc, 0(%ec)
+  addi %i, %i, 1
+  slt %t, %i, %n
+  bne %t, %zero, loop
+  li %j, 0
+check:
+  sll %joff, %j, 2
+  add %ej, %pc, %joff
+  lw %vj, 0(%ej)
+  out %vj
+  addi %j, %j, 1
+  slt %t2, %j, %n
+  bne %t2, %zero, check
+  ret
+}
+)";
+
+/// The paper's Figure 3: the invalidate_for_call loop from gcc.
+///
+///   for (regno = 0; regno < 66; regno++)
+///     if (regs_invalidated_by_call & (1 << regno)) {
+///       delete_equiv_reg(regno);
+///       if (reg_tick[regno] >= 0) reg_tick[regno]++;
+///     }
+///
+/// Instruction roles follow the paper's numbering in comments. The value
+/// component {I11v, I12, I13, I14v} is offloadable by the basic scheme;
+/// the branch slices through regno require copies or duplication
+/// (Figures 5 and 6).
+inline const char *InvalidateForCall = R"(
+global regs_invalidated_by_call 1 = 151065093
+global reg_tick 66 = -3 5 0 -1 2 9 -2 4 1 0 7 -5 3 3 -9 2
+global deleted_count 1
+
+func delete_equiv_reg(%regno) {
+entry:
+  lw %c, deleted_count
+  addi %c1, %c, 1
+  sw %c1, deleted_count
+  ret
+}
+
+func main() {
+entry:
+  li %regno, 0                              # I1
+loop:
+  lw %mask, regs_invalidated_by_call        # I2
+  srav %bit, %mask, %regno                  # I3
+  andi %b1, %bit, 1                         # I4
+  beq %b1, %zero, skip                      # I5
+  move %arg, %regno                         # I6
+  call delete_equiv_reg(%arg)               # I7
+  la %base, reg_tick                        # I8 (address of reg_tick)
+  sll %idx, %regno, 2                       # I9
+  add %ea, %base, %idx                      # I10
+  lw %tick, 0(%ea)                          # I11
+  bltz %tick, skip                          # I12
+  addi %tick1, %tick, 1                     # I13
+  sw %tick1, 0(%ea)                         # I14
+skip:
+  addi %regno, %regno, 1                    # I15
+  slti %t, %regno, 66                       # I16
+  bne %t, %zero, loop                       # I17
+  lw %dc, deleted_count
+  out %dc
+  li %k, 0
+dump:
+  la %rb, reg_tick
+  sll %ko, %k, 2
+  add %ke, %rb, %ko
+  lw %kv, 0(%ke)
+  out %kv
+  addi %k, %k, 1
+  slti %kt, %k, 16
+  bne %kt, %zero, dump
+  ret
+}
+)";
+
+/// A memory-free pseudo-random generator, like the paper's note about
+/// compress's rand function: the partitioner moves essentially the whole
+/// loop to FPa because nothing touches memory.
+inline const char *MemoryFreeRand = R"(
+func main() {
+entry:
+  li %seed, 12345
+  li %i, 0
+loop:
+  sll %a, %seed, 13
+  xor %b, %seed, %a
+  srl %c, %b, 17
+  xor %d, %b, %c
+  sll %e, %d, 5
+  xor %seed2, %d, %e
+  move %seed, %seed2
+  addi %i, %i, 1
+  slti %t, %i, 50
+  bne %t, %zero, loop
+  out %seed
+  ret
+}
+)";
+
+} // namespace fixtures
+} // namespace fpint
+
+#endif // FPINT_TESTS_PAPEREXAMPLES_H

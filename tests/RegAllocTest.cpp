@@ -1,0 +1,365 @@
+//===- tests/RegAllocTest.cpp - Linear-scan register allocation -----------===//
+
+#include "partition/Partitioner.h"
+#include "regalloc/RegAlloc.h"
+#include "sir/Parser.h"
+#include "sir/Printer.h"
+#include "sir/Verifier.h"
+#include "support/Rng.h"
+#include "vm/VM.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::regalloc;
+using namespace fpint::sir;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char *Src) {
+  ParseResult PR = parseModule(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  return std::move(PR.M);
+}
+
+/// Allocates a clone of \p M and checks verification + VM equivalence.
+std::unique_ptr<Module> allocateAndCheck(const Module &Original,
+                                         ModuleAlloc *OutAlloc = nullptr) {
+  auto M = Original.clone();
+  ModuleAlloc Alloc = allocateModule(*M);
+  EXPECT_TRUE(Alloc.Errors.empty()) << Alloc.Errors[0];
+  auto Verify = verify(*M);
+  EXPECT_TRUE(Verify.empty()) << Verify[0] << "\n" << toString(*M);
+
+  auto OrigRun = vm::runModule(Original);
+  auto AllocRun = vm::runModule(*M);
+  EXPECT_TRUE(OrigRun.Ok) << OrigRun.Error;
+  EXPECT_TRUE(AllocRun.Ok) << AllocRun.Error << "\n" << toString(*M);
+  EXPECT_EQ(OrigRun.Output, AllocRun.Output)
+      << "allocated program diverged:\n"
+      << toString(*M);
+  if (OutAlloc)
+    *OutAlloc = std::move(Alloc);
+  return M;
+}
+
+TEST(RegAlloc, StraightLineCode) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 5
+  li %b, 7
+  add %c, %a, %b
+  mul %d, %c, %c
+  out %d
+  ret
+}
+)");
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheck(*M, &Alloc);
+  const Function *F = A->functionByName("main");
+  EXPECT_TRUE(F->isAllocated());
+  const FuncAlloc &FA = Alloc.Funcs.at(F);
+  EXPECT_EQ(FA.SpilledIntervals, 0u);
+  // Every operand register is mapped to an architectural index < 32.
+  F->forEachInstr([&](const Instruction &I) {
+    if (I.def().isValid()) {
+      EXPECT_LT(Alloc.archIndexOf(F, I.def()), ArchLayout::FileSize);
+    }
+    I.forEachUse([&](Reg R, UseKind) {
+      EXPECT_LT(Alloc.archIndexOf(F, R), ArchLayout::FileSize);
+    });
+  });
+}
+
+TEST(RegAlloc, CallsUseArgumentRegisters) {
+  auto M = parseOrDie(R"(
+func add3(%x, %y, %z) {
+entry:
+  add %s, %x, %y
+  add %s2, %s, %z
+  ret %s2
+}
+
+func main() {
+entry:
+  li %a, 10
+  li %b, 20
+  li %c, 12
+  call %r, add3(%a, %b, %c)
+  out %r
+  ret
+}
+)");
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheck(*M, &Alloc);
+
+  // Callee formals are the architectural argument registers 0..2.
+  const Function *Callee = A->functionByName("add3");
+  ASSERT_EQ(Callee->formals().size(), 3u);
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_EQ(Alloc.archIndexOf(Callee, Callee->formals()[I]), I);
+
+  // The caller's call instruction passes those same indices, and its
+  // result arrives in the return register.
+  const Function *Main = A->functionByName("main");
+  const Instruction *Call = nullptr;
+  Main->forEachInstr([&](const Instruction &I) {
+    if (I.op() == Opcode::Call)
+      Call = &I;
+  });
+  ASSERT_NE(Call, nullptr);
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_EQ(Alloc.archIndexOf(Main, Call->uses()[I]), I);
+  EXPECT_EQ(Alloc.archIndexOf(Main, Call->def()), ArchLayout::RetReg);
+}
+
+TEST(RegAlloc, HighPressureSpills) {
+  // 30 simultaneously live values exceed the 24 allocatable integer
+  // registers; the allocator must spill yet preserve results.
+  std::string Src = "func main() {\nentry:\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  li %v" + std::to_string(I) + ", " + std::to_string(I * 3 + 1) +
+           "\n";
+  // Consume them in reverse so every interval spans the block.
+  Src += "  li %acc, 0\n";
+  for (int I = 29; I >= 0; --I)
+    Src += "  add %acc, %acc, %v" + std::to_string(I) + "\n";
+  Src += "  out %acc\n  ret\n}\n";
+
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheck(*PR.M, &Alloc);
+  const FuncAlloc &FA = Alloc.Funcs.at(A->functionByName("main"));
+  EXPECT_GT(FA.SpilledIntervals, 0u);
+  EXPECT_GT(FA.SpillCode, 0u);
+  EXPECT_GT(FA.SpillSlots, 0u);
+}
+
+TEST(RegAlloc, ValuesLiveAcrossCallsUseCalleeSaved) {
+  auto M = parseOrDie(R"(
+func leaf(%x) {
+entry:
+  addi %r, %x, 1
+  ret %r
+}
+
+func main() {
+entry:
+  li %keep, 1000
+  li %i, 0
+loop:
+  call %t, leaf(%i)
+  add %keep, %keep, %t
+  addi %i, %i, 1
+  slti %c, %i, 10
+  bne %c, %zero, loop
+  out %keep
+  ret
+}
+)");
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheck(*M, &Alloc);
+  const FuncAlloc &FA = Alloc.Funcs.at(A->functionByName("main"));
+  // %keep and %i survive calls: callee-saved registers get used and
+  // saved/restored (real loads/stores).
+  EXPECT_GT(FA.CalleeSavedUsedInt, 0u);
+  EXPECT_GT(FA.SpillCode, 0u);
+}
+
+TEST(RegAlloc, NeverDefinedRegistersReadZero) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 3
+  add %b, %a, %phantom
+  out %b
+  beq %a, %other, skip
+  out %a
+skip:
+  ret
+}
+)");
+  auto A = allocateAndCheck(*M);
+  auto R = vm::runModule(*A);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Output, (std::vector<int32_t>{3, 3}));
+}
+
+TEST(RegAlloc, PartitionedCodeAllocatesBothFiles) {
+  // The paper's flow: partition first, then allocate; FPa operands get
+  // FP registers.
+  auto Original = parseOrDie(fixtures::InvalidateForCall);
+  auto M = Original->clone();
+  vm::VM::Options ProfOpts;
+  ProfOpts.CollectProfile = true;
+  vm::VM Prof(*M, ProfOpts);
+  ASSERT_TRUE(Prof.run().Ok);
+  auto RW = partition::partitionModule(*M, partition::Scheme::Advanced,
+                                       &Prof.profile());
+  ASSERT_TRUE(RW.Errors.empty());
+
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheck(*M, &Alloc);
+  const Function *F = A->functionByName("main");
+  unsigned FpaOps = 0;
+  F->forEachInstr([&](const Instruction &I) {
+    if (!I.inFpa())
+      return;
+    ++FpaOps;
+    if (I.def().isValid()) {
+      EXPECT_EQ(F->regClass(I.def()), RegClass::Fp);
+    }
+  });
+  EXPECT_GT(FpaOps, 0u);
+}
+
+TEST(RegAlloc, FpWorkloadAllocation) {
+  const char *Src = R"(
+global vec 8 = 0 0 0 0 0 0 0 0
+
+func main() {
+entry:
+  li %i, 0
+  fli %sum, 0.0
+loop:
+  cp_to_fp %fb, %i
+  cvtif %fi, %fb
+  fmul %sq, %fi, %fi
+  fadd %sum, %sum, %sq
+  sll %off, %i, 2
+  la %vp, vec
+  add %ea, %vp, %off
+  s.s %sq, 0(%ea)
+  addi %i, %i, 1
+  slti %t, %i, 8
+  bne %t, %zero, loop
+  cp_to_int %bits, %sum
+  out %bits
+  ret
+}
+)";
+  auto M = parseOrDie(Src);
+  allocateAndCheck(*M);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized property: allocation never changes semantics, with and
+// without prior partitioning.
+//===----------------------------------------------------------------------===//
+
+std::string randomAllocProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string Src = "global arr 32 = ";
+  for (int I = 0; I < 16; ++I)
+    Src += std::to_string(R.nextInRange(0, 99)) + " ";
+  Src += "\nfunc mix(%a, %b) {\nentry:\n  xor %x, %a, %b\n  andi %m, %x, "
+         "31\n  ret %m\n}\n";
+  Src += "func main() {\nentry:\n";
+  unsigned NumVals = 3 + R.nextBelow(8); // Up to 10 locals.
+  for (unsigned I = 0; I < NumVals; ++I)
+    Src += "  li %v" + std::to_string(I) + ", " +
+           std::to_string(R.nextInRange(0, 63)) + "\n";
+  Src += "  li %i, 0\n  la %p, arr\nloop:\n";
+  unsigned Steps = 4 + R.nextBelow(8);
+  for (unsigned S = 0; S < Steps; ++S) {
+    unsigned A = R.nextBelow(NumVals), B = R.nextBelow(NumVals),
+             D = R.nextBelow(NumVals);
+    std::string SA = "%v" + std::to_string(A), SB = "%v" + std::to_string(B),
+                SD = "%v" + std::to_string(D);
+    switch (R.nextBelow(6)) {
+    case 0:
+      Src += "  add " + SD + ", " + SA + ", " + SB + "\n";
+      break;
+    case 1:
+      Src += "  sub " + SD + ", " + SA + ", " + SB + "\n";
+      break;
+    case 2:
+      Src += "  andi %x" + std::to_string(S) + ", " + SA + ", 31\n  sll %y" +
+             std::to_string(S) + ", %x" + std::to_string(S) +
+             ", 2\n  add %e" + std::to_string(S) + ", %p, %y" +
+             std::to_string(S) + "\n  lw " + SD + ", 0(%e" +
+             std::to_string(S) + ")\n";
+      break;
+    case 3:
+      Src += "  andi %x" + std::to_string(S) + ", " + SA + ", 31\n  sll %y" +
+             std::to_string(S) + ", %x" + std::to_string(S) +
+             ", 2\n  add %e" + std::to_string(S) + ", %p, %y" +
+             std::to_string(S) + "\n  sw " + SB + ", 0(%e" +
+             std::to_string(S) + ")\n";
+      break;
+    case 4:
+      Src += "  call %r" + std::to_string(S) + ", mix(" + SA + ", " + SB +
+             ")\n  add " + SD + ", " + SD + ", %r" + std::to_string(S) + "\n";
+      break;
+    case 5:
+      Src += "  slti %c" + std::to_string(S) + ", " + SA + ", 32\n";
+      Src += "  beq %c" + std::to_string(S) + ", %zero, sk" +
+             std::to_string(S) + "\n";
+      Src += "  xori " + SD + ", " + SD + ", 5\n";
+      Src += "sk" + std::to_string(S) + ":\n";
+      break;
+    }
+  }
+  Src += "  addi %i, %i, 1\n  slti %t, %i, 12\n  bne %t, %zero, loop\n";
+  for (unsigned I = 0; I < NumVals; ++I)
+    Src += "  out %v" + std::to_string(I) + "\n";
+  Src += "  ret\n}\n";
+  return Src;
+}
+
+class RegAllocProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegAllocProperty, RandomProgramsStayEquivalent) {
+  std::string Src = randomAllocProgram(static_cast<uint64_t>(GetParam()) *
+                                       104729);
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
+  auto OrigRun = vm::runModule(*PR.M);
+  ASSERT_TRUE(OrigRun.Ok) << OrigRun.Error << "\n" << Src;
+
+  // Plain allocation.
+  allocateAndCheck(*PR.M);
+
+  // Partition (advanced), then allocate: the paper's full compilation
+  // flow.
+  auto M2 = PR.M->clone();
+  vm::VM::Options ProfOpts;
+  ProfOpts.CollectProfile = true;
+  vm::VM Prof(*M2, ProfOpts);
+  ASSERT_TRUE(Prof.run().Ok);
+  auto RW = partition::partitionModule(*M2, partition::Scheme::Advanced,
+                                       &Prof.profile());
+  ASSERT_TRUE(RW.Errors.empty()) << RW.Errors[0];
+  auto A2 = allocateAndCheck(*M2);
+  auto Run2 = vm::runModule(*A2);
+  ASSERT_TRUE(Run2.Ok) << Run2.Error;
+  ASSERT_EQ(Run2.Output, OrigRun.Output)
+      << "partition+alloc diverged for seed " << GetParam() << "\n"
+      << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocProperty, ::testing::Range(0, 30));
+
+} // namespace
+
+namespace {
+
+TEST(ArchLayout, RegionsPartitionTheFile) {
+  // Argument, return, caller-saved, callee-saved, scratch, and zero
+  // regions must tile the 32-entry file without overlap.
+  using L = regalloc::ArchLayout;
+  EXPECT_EQ(L::NumArgRegs, 4u);
+  EXPECT_EQ(L::RetReg, 4u);
+  EXPECT_EQ(L::CallerBase, 5u);
+  EXPECT_EQ(L::CallerBase + L::NumCaller, L::CalleeBase);
+  EXPECT_EQ(L::CalleeBase + L::NumCallee, L::ScratchBase);
+  EXPECT_LE(L::ScratchBase + L::NumScratch, L::FileSize);
+  // 24 allocatable registers per file, as documented.
+  EXPECT_EQ(L::NumCaller + L::NumCallee, 24u);
+}
+
+} // namespace

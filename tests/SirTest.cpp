@@ -1,0 +1,411 @@
+//===- tests/SirTest.cpp - IR construction, printing, parsing, verifying --===//
+
+#include "sir/IR.h"
+#include "sir/IRBuilder.h"
+#include "sir/Opcode.h"
+#include "sir/Parser.h"
+#include "sir/Printer.h"
+#include "sir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Opcode predicates
+//===----------------------------------------------------------------------===//
+
+TEST(Opcode, ExactlyTwentyTwoFpaOpcodes) {
+  // The paper extends the ISA with 22 opcodes for integer execution in
+  // the floating-point subsystem.
+  unsigned Count = 0;
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    if (fpaSupports(static_cast<Opcode>(I)))
+      ++Count;
+  EXPECT_EQ(Count, 22u);
+}
+
+TEST(Opcode, MulDivNotOffloadable) {
+  // "All integer operations except integer multiply and divide are
+  // supported in the floating-point subsystem."
+  EXPECT_FALSE(fpaSupports(Opcode::Mul));
+  EXPECT_FALSE(fpaSupports(Opcode::Div));
+  EXPECT_FALSE(fpaSupports(Opcode::Rem));
+}
+
+TEST(Opcode, MemoryNeverOffloadable) {
+  EXPECT_FALSE(fpaSupports(Opcode::Lw));
+  EXPECT_FALSE(fpaSupports(Opcode::Sw));
+  EXPECT_FALSE(fpaSupports(Opcode::Lb));
+  EXPECT_FALSE(fpaSupports(Opcode::Sb));
+  EXPECT_FALSE(fpaSupports(Opcode::Lbu));
+}
+
+TEST(Opcode, ControlFlowClassification) {
+  EXPECT_TRUE(isIntCondBranch(Opcode::Beq));
+  EXPECT_TRUE(isIntCondBranch(Opcode::Bltz));
+  EXPECT_FALSE(isIntCondBranch(Opcode::Jump));
+  EXPECT_TRUE(isFpCondBranch(Opcode::FBnez));
+  EXPECT_TRUE(isBlockEnder(Opcode::Jump));
+  EXPECT_TRUE(isBlockEnder(Opcode::Ret));
+  EXPECT_FALSE(isBlockEnder(Opcode::Beq));
+}
+
+TEST(Opcode, LatenciesMatchTable1) {
+  // Table 1: 6-cycle multiply, 12-cycle divide, 1-cycle simple ops.
+  EXPECT_EQ(execLatency(ExecClass::IntAlu), 1u);
+  EXPECT_EQ(execLatency(ExecClass::IntMul), 6u);
+  EXPECT_EQ(execLatency(ExecClass::IntDiv), 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Builder and structural accessors
+//===----------------------------------------------------------------------===//
+
+TEST(IRBuilder, BuildsCountingLoop) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Loop = F->addBlock("loop");
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder B(Entry);
+  Reg I = F->newReg();
+  B.liInto(I, 0);
+  Reg N = B.li(10);
+
+  B.setInsertPoint(Loop);
+  Reg I2 = B.addi(I, 1);
+  B.moveInto(I, I2);
+  Reg C = B.slt(I, N);
+  B.bne(C, B.li(0), Loop);
+
+  B.setInsertPoint(Exit);
+  B.out(I);
+  B.ret();
+
+  M.renumber();
+  EXPECT_TRUE(verify(M).empty());
+  EXPECT_EQ(F->blocks().size(), 3u);
+  EXPECT_EQ(F->numInstrIds(), 9u);
+
+  std::vector<BasicBlock *> Succs;
+  Loop->successors(Succs);
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], Loop);
+  EXPECT_EQ(Succs[1], Exit);
+}
+
+TEST(IR, FallthroughRules) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *A = F->addBlock("a");
+  BasicBlock *B2 = F->addBlock("b");
+  IRBuilder B(A);
+  Reg X = B.li(1);
+  B.setInsertPoint(B2);
+  B.out(X);
+  B.ret();
+  M.renumber();
+  EXPECT_EQ(A->fallthrough(), B2);
+  EXPECT_EQ(B2->fallthrough(), nullptr); // Ends in Ret.
+}
+
+TEST(IR, CloneIsDeepAndEquivalent) {
+  Module M;
+  Function *F = M.addFunction("main");
+  M.addGlobal("g", 4, {7});
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Entry);
+  Reg V = B.lw(MemOperand::global("g"));
+  B.out(V);
+  B.ret();
+  M.renumber();
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(verify(*Clone).empty());
+  EXPECT_EQ(toString(M), toString(*Clone));
+
+  // Mutating the clone must not affect the original.
+  Clone->functions()[0]->blocks()[0]->instructions()[0]->mem().Offset = 99;
+  EXPECT_NE(toString(M), toString(*Clone));
+}
+
+TEST(IR, CloneRemapsBranchTargets) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(Entry);
+  Reg X = B.li(0);
+  B.beq(X, X, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+  M.renumber();
+
+  auto Clone = M.clone();
+  Function *CF = Clone->functionByName("main");
+  const Instruction *Br = CF->blocks()[0]->instructions()[1].get();
+  EXPECT_EQ(Br->target(), CF->blocks()[1].get());
+  EXPECT_NE(Br->target(), Exit);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser / printer round trip
+//===----------------------------------------------------------------------===//
+
+const char *VectorSumSrc = R"(
+# Integer vector sum, the paper's Figure 2 shape.
+global a 8 = 1 2 3 4 5 6 7 8
+global b 8 = 10 20 30 40 50 60 70 80
+global c 8
+
+func main() {
+entry:
+  li %i, 0
+  li %n, 8
+loop:
+  sll %off, %i, 2
+  la %pa, a
+  add %pa2, %pa, %off
+  lw %va, 0(%pa2)
+  la %pb, b
+  add %pb2, %pb, %off
+  lw %vb, 0(%pb2)
+  add %vc, %va, %vb
+  la %pc, c
+  add %pc2, %pc, %off
+  sw %vc, 0(%pc2)
+  addi %i2, %i, 1
+  move %i, %i2
+  slt %t, %i, %n
+  bne %t, %i0, loop
+exit:
+  la %pc3, c
+  lw %r, 28(%pc3)
+  out %r
+  ret
+}
+)";
+
+TEST(Parser, ParsesVectorSum) {
+  // %i0 is used before any def; the parser accepts it (reads as zero).
+  ParseResult PR = parseModule(VectorSumSrc);
+  ASSERT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  EXPECT_TRUE(verify(*PR.M).empty());
+  const Function *F = PR.M->functionByName("main");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->blocks().size(), 3u);
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  ParseResult PR = parseModule(VectorSumSrc);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  std::string Printed = toString(*PR.M);
+  ParseResult PR2 = parseModule(Printed);
+  ASSERT_TRUE(PR2.ok()) << PR2.Error << " in:\n" << Printed;
+  // Printing the reparsed module must be a fixpoint.
+  EXPECT_EQ(toString(*PR2.M), Printed);
+}
+
+TEST(Parser, ParsesFpaSuffixAndFpLoads) {
+  const char *Src = R"(
+global g 4
+
+func main() {
+entry:
+  li,a %x, 5
+  addi,a %y, %x, 3
+  l.s %v, g
+  add,a %z, %y, %v
+  s.s %z, g+4
+  blez,a %z, done
+  out,a %y
+done:
+  ret
+}
+)";
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  EXPECT_TRUE(verify(*PR.M).empty());
+  const Function *F = PR.M->functionByName("main");
+  const auto &Instrs = F->blocks()[0]->instructions();
+  EXPECT_TRUE(Instrs[0]->inFpa());
+  EXPECT_EQ(F->regClass(Instrs[0]->def()), RegClass::Fp);
+  EXPECT_FALSE(Instrs[2]->inFpa()); // l.s executes in the INT LSU.
+  EXPECT_EQ(F->regClass(Instrs[2]->def()), RegClass::Fp);
+  EXPECT_TRUE(Instrs[5]->isCondBranch());
+  EXPECT_TRUE(Instrs[5]->inFpa());
+
+  // Round trip preserves the FPa annotations.
+  std::string Printed = toString(*PR.M);
+  EXPECT_NE(Printed.find("li,a"), std::string::npos);
+  EXPECT_NE(Printed.find("l.s"), std::string::npos);
+  EXPECT_NE(Printed.find("s.s"), std::string::npos);
+  ParseResult PR2 = parseModule(Printed);
+  ASSERT_TRUE(PR2.ok()) << PR2.Error << " in:\n" << Printed;
+  EXPECT_EQ(toString(*PR2.M), Printed);
+}
+
+TEST(Parser, ParsesCallsAndFrames) {
+  const char *Src = R"(
+func add2(%a, %b) {
+entry:
+  add %s, %a, %b
+  ret %s
+}
+
+func main() {
+entry:
+  li %x, 4
+  li %y, 38
+  call %r, add2(%x, %y)
+  sw %r, [frame+0]
+  lw %r2, [frame+0]
+  out %r2
+  call noret()
+  ret
+}
+
+func noret() {
+entry:
+  ret
+}
+)";
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  EXPECT_TRUE(verify(*PR.M).empty());
+  std::string Printed = toString(*PR.M);
+  ParseResult PR2 = parseModule(Printed);
+  ASSERT_TRUE(PR2.ok()) << PR2.Error;
+  EXPECT_EQ(toString(*PR2.M), Printed);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  auto ExpectError = [](const char *Src, const char *Fragment) {
+    ParseResult PR = parseModule(Src);
+    EXPECT_FALSE(PR.ok()) << "expected failure for: " << Src;
+    EXPECT_NE(PR.Error.find(Fragment), std::string::npos)
+        << "got error: " << PR.Error;
+  };
+  ExpectError("bogus\n", "expected 'global' or 'func'");
+  ExpectError("func f() {\n  frobnicate %a\n}\n", "unknown mnemonic");
+  ExpectError("func f() {\n  jmp nowhere\n}\n", "unknown label");
+  ExpectError("func f() {\n  mul,a %a, %b, %c\n}\n", "',a' suffix");
+  ExpectError("func f() {\n  ret\n", "missing '}'");
+  ExpectError("global g 2 = 1 2 3\n", "initializer longer");
+  ExpectError("func f() {\nx:\nx:\n  ret\n}\n", "duplicate label");
+}
+
+TEST(Parser, RejectsRegisterClassConflicts) {
+  const char *Src = R"(
+func main() {
+entry:
+  li %x, 1
+  fadd %y, %x, %x
+  ret
+}
+)";
+  ParseResult PR = parseModule(Src);
+  EXPECT_FALSE(PR.ok());
+  EXPECT_NE(PR.Error.find("conflicting class"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, CatchesFallOffEnd) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Entry);
+  B.li(1);
+  M.renumber();
+  auto Errs = verify(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("fall off"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadFpaAssignment) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Entry);
+  Reg A = B.li(3);
+  Reg P = B.mul(A, A);
+  B.out(P);
+  B.ret();
+  // Illegally mark the multiply as FPa-resident.
+  Entry->instructions()[1]->setInFpa(true);
+  M.renumber();
+  auto Errs = verify(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("not offloadable"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUnknownCalleeAndArgMismatch) {
+  Module M;
+  Function *F = M.addFunction("main");
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(Entry);
+  B.call("ghost", {});
+  B.ret();
+  M.renumber();
+  auto Errs = verify(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("unknown callee"), std::string::npos);
+
+  Module M2;
+  Function *Callee = M2.addFunction("f");
+  Callee->addFormal();
+  IRBuilder CB(Callee->addBlock("entry"));
+  CB.ret();
+  Function *Main = M2.addFunction("main");
+  IRBuilder MB(Main->addBlock("entry"));
+  MB.call("f", {}); // Missing the argument.
+  MB.ret();
+  M2.renumber();
+  auto Errs2 = verify(M2);
+  ASSERT_FALSE(Errs2.empty());
+  EXPECT_NE(Errs2[0].find("argument count"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUnknownGlobal) {
+  Module M;
+  Function *F = M.addFunction("main");
+  IRBuilder B(F->addBlock("entry"));
+  Reg V = B.lw(MemOperand::global("missing"));
+  B.out(V);
+  B.ret();
+  M.renumber();
+  auto Errs = verify(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs[0].find("unknown global"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedFpCode) {
+  const char *Src = R"(
+global v 2
+
+func main() {
+entry:
+  l.s %a, v
+  l.s %b, v+4
+  fadd %c, %a, %b
+  fcmplt %t, %a, %c
+  fbnez %t, done
+  s.s %c, v
+done:
+  ret
+}
+)";
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  EXPECT_TRUE(verify(*PR.M).empty());
+}
+
+} // namespace

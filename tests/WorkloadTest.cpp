@@ -1,0 +1,165 @@
+//===- tests/WorkloadTest.cpp - Synthetic SPEC stand-ins ------------------===//
+
+#include "core/Pipeline.h"
+#include "sir/Verifier.h"
+#include "vm/VM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::workloads;
+
+namespace {
+
+TEST(Workloads, RegistryIsComplete) {
+  EXPECT_EQ(intWorkloads().size(), 7u); // Table 2's SPECint95 set.
+  EXPECT_EQ(fpWorkloads().size(), 3u);
+  EXPECT_EQ(allWorkloadNames().size(), 10u);
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = workloadByName(Name);
+    EXPECT_EQ(W.Name, Name);
+    EXPECT_NE(W.M, nullptr);
+  }
+}
+
+TEST(Workloads, AllVerifyAndRun) {
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = workloadByName(Name);
+    EXPECT_TRUE(sir::verify(*W.M).empty()) << Name;
+    auto Train = vm::runModule(*W.M, W.TrainArgs);
+    ASSERT_TRUE(Train.Ok) << Name << ": " << Train.Error;
+    auto Ref = vm::runModule(*W.M, W.RefArgs);
+    ASSERT_TRUE(Ref.Ok) << Name << ": " << Ref.Error;
+    // The ref input does strictly more work than the training input.
+    EXPECT_GT(Ref.Steps, Train.Steps) << Name;
+    EXPECT_FALSE(Ref.Output.empty()) << Name << " must self-check";
+  }
+}
+
+TEST(Workloads, RunsAreDeterministic) {
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload A = workloadByName(Name);
+    Workload B = workloadByName(Name);
+    auto RA = vm::runModule(*A.M, A.RefArgs);
+    auto RB = vm::runModule(*B.M, B.RefArgs);
+    ASSERT_TRUE(RA.Ok && RB.Ok) << Name;
+    EXPECT_EQ(RA.Output, RB.Output) << Name;
+    EXPECT_EQ(RA.Steps, RB.Steps) << Name;
+  }
+}
+
+TEST(Workloads, SizesAreSubstantial) {
+  // The harness needs workloads big enough for stable measurements but
+  // small enough for quick iteration.
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = workloadByName(Name);
+    auto R = vm::runModule(*W.M, W.RefArgs);
+    ASSERT_TRUE(R.Ok) << Name;
+    EXPECT_GT(R.Steps, 30000u) << Name;
+    EXPECT_LT(R.Steps, 5000000u) << Name;
+  }
+}
+
+/// One workload under one scheme must survive the whole pipeline with
+/// identical outputs. This is the reproduction's core integration test.
+class WorkloadPipeline
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(WorkloadPipeline, EndToEndEquivalence) {
+  const std::string Name = std::get<0>(GetParam());
+  const partition::Scheme Scheme =
+      static_cast<partition::Scheme>(std::get<1>(GetParam()));
+  Workload W = workloadByName(Name);
+
+  core::PipelineConfig Cfg;
+  Cfg.Scheme = Scheme;
+  Cfg.TrainArgs = W.TrainArgs;
+  Cfg.RefArgs = W.RefArgs;
+  core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
+  ASSERT_TRUE(Run.ok()) << Name << "/" << partition::schemeName(Scheme)
+                        << ": "
+                        << (Run.Errors.empty() ? "output mismatch"
+                                               : Run.Errors[0]);
+  EXPECT_TRUE(Run.OutputsMatchOriginal);
+  EXPECT_TRUE(sir::verify(*Run.Compiled).empty());
+
+  if (Scheme == partition::Scheme::None) {
+    EXPECT_EQ(Run.Stats.Fpa, 0u);
+  }
+  // Overheads stay bounded (paper: max ~4-5% dynamic increase).
+  EXPECT_LT(Run.Stats.copyFraction() + Run.Stats.dupFraction(), 0.08)
+      << Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadPipeline,
+    ::testing::Combine(::testing::ValuesIn(allWorkloadNames()),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>> &Info) {
+      return std::get<0>(Info.param) + "_" +
+             partition::schemeName(static_cast<partition::Scheme>(
+                 std::get<1>(Info.param)));
+    });
+
+//===----------------------------------------------------------------------===//
+// Paper-shape assertions over the whole suite (Figure 8 invariants).
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShape, AdvancedOffloadsSubstantially) {
+  double MinAdv = 1.0, MaxAdv = 0.0;
+  for (const Workload &W : intWorkloads()) {
+    core::PipelineConfig Cfg;
+    Cfg.Scheme = partition::Scheme::Advanced;
+    Cfg.TrainArgs = W.TrainArgs;
+    Cfg.RefArgs = W.RefArgs;
+    core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
+    ASSERT_TRUE(Run.ok()) << W.Name;
+    double F = Run.Stats.fpaFraction();
+    MinAdv = std::min(MinAdv, F);
+    MaxAdv = std::max(MaxAdv, F);
+  }
+  // Paper: 9% - 41%. Allow the synthetic stand-ins some slack while
+  // keeping the band meaningful.
+  EXPECT_GT(MaxAdv, 0.25);
+  EXPECT_LT(MaxAdv, 0.55);
+  EXPECT_GT(MinAdv, 0.02);
+}
+
+TEST(PaperShape, BasicNeverInsertsAndAdvancedWinsOrTies) {
+  for (const Workload &W : intWorkloads()) {
+    core::PipelineConfig Basic;
+    Basic.Scheme = partition::Scheme::Basic;
+    Basic.TrainArgs = W.TrainArgs;
+    Basic.RefArgs = W.RefArgs;
+    core::PipelineRun BRun = core::compileAndMeasure(*W.M, Basic);
+    ASSERT_TRUE(BRun.ok()) << W.Name;
+    EXPECT_EQ(BRun.Rewrite.StaticCopies, 0u) << W.Name;
+    EXPECT_EQ(BRun.Rewrite.StaticDups, 0u) << W.Name;
+
+    core::PipelineConfig Adv = Basic;
+    Adv.Scheme = partition::Scheme::Advanced;
+    core::PipelineRun ARun = core::compileAndMeasure(*W.M, Adv);
+    ASSERT_TRUE(ARun.ok()) << W.Name;
+    // Advanced offloads at least about as much as basic (li ties).
+    EXPECT_GT(ARun.Stats.fpaFraction(), BRun.Stats.fpaFraction() * 0.9)
+        << W.Name;
+  }
+}
+
+TEST(PaperShape, FpProgramsKeepNativeFpMajority) {
+  for (const Workload &W : fpWorkloads()) {
+    core::PipelineConfig Cfg;
+    Cfg.Scheme = partition::Scheme::Advanced;
+    Cfg.TrainArgs = W.TrainArgs;
+    Cfg.RefArgs = W.RefArgs;
+    core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
+    ASSERT_TRUE(Run.ok()) << W.Name;
+    EXPECT_GT(static_cast<double>(Run.Stats.NativeFp) /
+                  static_cast<double>(Run.Stats.Total),
+              0.05)
+        << W.Name << " must be a real FP program";
+  }
+}
+
+} // namespace
