@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fp_args.dir/ext_fp_args.cpp.o"
+  "CMakeFiles/ext_fp_args.dir/ext_fp_args.cpp.o.d"
+  "ext_fp_args"
+  "ext_fp_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fp_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_speedup_4way.dir/fig9_speedup_4way.cpp.o"
+  "CMakeFiles/fig9_speedup_4way.dir/fig9_speedup_4way.cpp.o.d"
+  "fig9_speedup_4way"
+  "fig9_speedup_4way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speedup_4way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_speedup_4way.
+# This may be replaced when dependencies are built.

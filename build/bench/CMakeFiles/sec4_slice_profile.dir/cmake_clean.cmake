@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_slice_profile.dir/sec4_slice_profile.cpp.o"
+  "CMakeFiles/sec4_slice_profile.dir/sec4_slice_profile.cpp.o.d"
+  "sec4_slice_profile"
+  "sec4_slice_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_slice_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

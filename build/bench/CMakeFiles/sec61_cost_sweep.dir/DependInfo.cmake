@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec61_cost_sweep.cpp" "bench/CMakeFiles/sec61_cost_sweep.dir/sec61_cost_sweep.cpp.o" "gcc" "bench/CMakeFiles/sec61_cost_sweep.dir/sec61_cost_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fpint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fpint_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/fpint_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/fpint_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/fpint_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fpint_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpint_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sir/CMakeFiles/fpint_sir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fpint_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

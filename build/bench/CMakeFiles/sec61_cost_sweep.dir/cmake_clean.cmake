@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_cost_sweep.dir/sec61_cost_sweep.cpp.o"
+  "CMakeFiles/sec61_cost_sweep.dir/sec61_cost_sweep.cpp.o.d"
+  "sec61_cost_sweep"
+  "sec61_cost_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_cost_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec66_load_balance.dir/sec66_load_balance.cpp.o"
+  "CMakeFiles/sec66_load_balance.dir/sec66_load_balance.cpp.o.d"
+  "sec66_load_balance"
+  "sec66_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec66_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_overheads.dir/sec72_overheads.cpp.o"
+  "CMakeFiles/sec72_overheads.dir/sec72_overheads.cpp.o.d"
+  "sec72_overheads"
+  "sec72_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

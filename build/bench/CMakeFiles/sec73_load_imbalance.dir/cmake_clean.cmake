@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_load_imbalance.dir/sec73_load_imbalance.cpp.o"
+  "CMakeFiles/sec73_load_imbalance.dir/sec73_load_imbalance.cpp.o.d"
+  "sec73_load_imbalance"
+  "sec73_load_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec75_fp_programs.dir/sec75_fp_programs.cpp.o"
+  "CMakeFiles/sec75_fp_programs.dir/sec75_fp_programs.cpp.o.d"
+  "sec75_fp_programs"
+  "sec75_fp_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_fp_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidate_regs.dir/invalidate_regs.cpp.o"
+  "CMakeFiles/invalidate_regs.dir/invalidate_regs.cpp.o.d"
+  "invalidate_regs"
+  "invalidate_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidate_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_sum.dir/vector_sum.cpp.o"
+  "CMakeFiles/vector_sum.dir/vector_sum.cpp.o.d"
+  "vector_sum"
+  "vector_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

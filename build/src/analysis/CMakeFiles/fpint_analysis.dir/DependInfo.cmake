@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/fpint_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/fpint_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/ExecutionEstimate.cpp" "src/analysis/CMakeFiles/fpint_analysis.dir/ExecutionEstimate.cpp.o" "gcc" "src/analysis/CMakeFiles/fpint_analysis.dir/ExecutionEstimate.cpp.o.d"
+  "/root/repo/src/analysis/RDG.cpp" "src/analysis/CMakeFiles/fpint_analysis.dir/RDG.cpp.o" "gcc" "src/analysis/CMakeFiles/fpint_analysis.dir/RDG.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/analysis/CMakeFiles/fpint_analysis.dir/ReachingDefs.cpp.o" "gcc" "src/analysis/CMakeFiles/fpint_analysis.dir/ReachingDefs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sir/CMakeFiles/fpint_sir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpint_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/fpint_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/fpint_analysis.dir/ExecutionEstimate.cpp.o"
+  "CMakeFiles/fpint_analysis.dir/ExecutionEstimate.cpp.o.d"
+  "CMakeFiles/fpint_analysis.dir/RDG.cpp.o"
+  "CMakeFiles/fpint_analysis.dir/RDG.cpp.o.d"
+  "CMakeFiles/fpint_analysis.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/fpint_analysis.dir/ReachingDefs.cpp.o.d"
+  "libfpint_analysis.a"
+  "libfpint_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/fpint_core.dir/Pipeline.cpp.o.d"
+  "libfpint_core.a"
+  "libfpint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_opt.dir/Passes.cpp.o"
+  "CMakeFiles/fpint_opt.dir/Passes.cpp.o.d"
+  "libfpint_opt.a"
+  "libfpint_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/AdvancedPartitioner.cpp" "src/partition/CMakeFiles/fpint_partition.dir/AdvancedPartitioner.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/AdvancedPartitioner.cpp.o.d"
+  "/root/repo/src/partition/Assignment.cpp" "src/partition/CMakeFiles/fpint_partition.dir/Assignment.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/Assignment.cpp.o.d"
+  "/root/repo/src/partition/BasicPartitioner.cpp" "src/partition/CMakeFiles/fpint_partition.dir/BasicPartitioner.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/BasicPartitioner.cpp.o.d"
+  "/root/repo/src/partition/CostModel.cpp" "src/partition/CMakeFiles/fpint_partition.dir/CostModel.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/CostModel.cpp.o.d"
+  "/root/repo/src/partition/DotExport.cpp" "src/partition/CMakeFiles/fpint_partition.dir/DotExport.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/DotExport.cpp.o.d"
+  "/root/repo/src/partition/FpArgPassing.cpp" "src/partition/CMakeFiles/fpint_partition.dir/FpArgPassing.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/FpArgPassing.cpp.o.d"
+  "/root/repo/src/partition/Partitioner.cpp" "src/partition/CMakeFiles/fpint_partition.dir/Partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/Partitioner.cpp.o.d"
+  "/root/repo/src/partition/Rewriter.cpp" "src/partition/CMakeFiles/fpint_partition.dir/Rewriter.cpp.o" "gcc" "src/partition/CMakeFiles/fpint_partition.dir/Rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/fpint_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sir/CMakeFiles/fpint_sir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpint_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

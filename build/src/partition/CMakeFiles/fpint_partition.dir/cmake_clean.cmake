@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_partition.dir/AdvancedPartitioner.cpp.o"
+  "CMakeFiles/fpint_partition.dir/AdvancedPartitioner.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/Assignment.cpp.o"
+  "CMakeFiles/fpint_partition.dir/Assignment.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/BasicPartitioner.cpp.o"
+  "CMakeFiles/fpint_partition.dir/BasicPartitioner.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/CostModel.cpp.o"
+  "CMakeFiles/fpint_partition.dir/CostModel.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/DotExport.cpp.o"
+  "CMakeFiles/fpint_partition.dir/DotExport.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/FpArgPassing.cpp.o"
+  "CMakeFiles/fpint_partition.dir/FpArgPassing.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/Partitioner.cpp.o"
+  "CMakeFiles/fpint_partition.dir/Partitioner.cpp.o.d"
+  "CMakeFiles/fpint_partition.dir/Rewriter.cpp.o"
+  "CMakeFiles/fpint_partition.dir/Rewriter.cpp.o.d"
+  "libfpint_partition.a"
+  "libfpint_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

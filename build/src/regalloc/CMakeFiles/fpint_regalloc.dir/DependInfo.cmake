@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/Liveness.cpp" "src/regalloc/CMakeFiles/fpint_regalloc.dir/Liveness.cpp.o" "gcc" "src/regalloc/CMakeFiles/fpint_regalloc.dir/Liveness.cpp.o.d"
+  "/root/repo/src/regalloc/RegAlloc.cpp" "src/regalloc/CMakeFiles/fpint_regalloc.dir/RegAlloc.cpp.o" "gcc" "src/regalloc/CMakeFiles/fpint_regalloc.dir/RegAlloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/fpint_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sir/CMakeFiles/fpint_sir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fpint_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_regalloc.dir/Liveness.cpp.o"
+  "CMakeFiles/fpint_regalloc.dir/Liveness.cpp.o.d"
+  "CMakeFiles/fpint_regalloc.dir/RegAlloc.cpp.o"
+  "CMakeFiles/fpint_regalloc.dir/RegAlloc.cpp.o.d"
+  "libfpint_regalloc.a"
+  "libfpint_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

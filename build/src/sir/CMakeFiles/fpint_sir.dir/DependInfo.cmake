@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sir/IR.cpp" "src/sir/CMakeFiles/fpint_sir.dir/IR.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/IR.cpp.o.d"
+  "/root/repo/src/sir/IRBuilder.cpp" "src/sir/CMakeFiles/fpint_sir.dir/IRBuilder.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/sir/Opcode.cpp" "src/sir/CMakeFiles/fpint_sir.dir/Opcode.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/Opcode.cpp.o.d"
+  "/root/repo/src/sir/Parser.cpp" "src/sir/CMakeFiles/fpint_sir.dir/Parser.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/Parser.cpp.o.d"
+  "/root/repo/src/sir/Printer.cpp" "src/sir/CMakeFiles/fpint_sir.dir/Printer.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/Printer.cpp.o.d"
+  "/root/repo/src/sir/Verifier.cpp" "src/sir/CMakeFiles/fpint_sir.dir/Verifier.cpp.o" "gcc" "src/sir/CMakeFiles/fpint_sir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

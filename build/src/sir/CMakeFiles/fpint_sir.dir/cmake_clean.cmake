@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_sir.dir/IR.cpp.o"
+  "CMakeFiles/fpint_sir.dir/IR.cpp.o.d"
+  "CMakeFiles/fpint_sir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/fpint_sir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/fpint_sir.dir/Opcode.cpp.o"
+  "CMakeFiles/fpint_sir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/fpint_sir.dir/Parser.cpp.o"
+  "CMakeFiles/fpint_sir.dir/Parser.cpp.o.d"
+  "CMakeFiles/fpint_sir.dir/Printer.cpp.o"
+  "CMakeFiles/fpint_sir.dir/Printer.cpp.o.d"
+  "CMakeFiles/fpint_sir.dir/Verifier.cpp.o"
+  "CMakeFiles/fpint_sir.dir/Verifier.cpp.o.d"
+  "libfpint_sir.a"
+  "libfpint_sir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_sir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

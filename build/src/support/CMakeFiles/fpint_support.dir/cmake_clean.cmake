@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_support.dir/Rng.cpp.o"
+  "CMakeFiles/fpint_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/fpint_support.dir/Table.cpp.o"
+  "CMakeFiles/fpint_support.dir/Table.cpp.o.d"
+  "libfpint_support.a"
+  "libfpint_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_timing.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/fpint_timing.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/fpint_timing.dir/Cache.cpp.o"
+  "CMakeFiles/fpint_timing.dir/Cache.cpp.o.d"
+  "CMakeFiles/fpint_timing.dir/Simulator.cpp.o"
+  "CMakeFiles/fpint_timing.dir/Simulator.cpp.o.d"
+  "libfpint_timing.a"
+  "libfpint_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

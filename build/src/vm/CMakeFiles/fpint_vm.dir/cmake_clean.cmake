@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_vm.dir/VM.cpp.o"
+  "CMakeFiles/fpint_vm.dir/VM.cpp.o.d"
+  "libfpint_vm.a"
+  "libfpint_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Compress.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Compress.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Compress.cpp.o.d"
+  "/root/repo/src/workloads/Ear.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Ear.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Ear.cpp.o.d"
+  "/root/repo/src/workloads/Gcc.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Gcc.cpp.o.d"
+  "/root/repo/src/workloads/Go.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Go.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Go.cpp.o.d"
+  "/root/repo/src/workloads/Ijpeg.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Ijpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/Li.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Li.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Li.cpp.o.d"
+  "/root/repo/src/workloads/M88ksim.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/M88ksim.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/M88ksim.cpp.o.d"
+  "/root/repo/src/workloads/Perl.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Perl.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Perl.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Swim.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Swim.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Swim.cpp.o.d"
+  "/root/repo/src/workloads/Tomcatv.cpp" "src/workloads/CMakeFiles/fpint_workloads.dir/Tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/fpint_workloads.dir/Tomcatv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sir/CMakeFiles/fpint_sir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpint_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpint_workloads.dir/Compress.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Compress.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Ear.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Ear.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Gcc.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Gcc.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Go.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Go.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Ijpeg.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Ijpeg.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Li.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Li.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/M88ksim.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/M88ksim.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Perl.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Perl.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Swim.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Swim.cpp.o.d"
+  "CMakeFiles/fpint_workloads.dir/Tomcatv.cpp.o"
+  "CMakeFiles/fpint_workloads.dir/Tomcatv.cpp.o.d"
+  "libfpint_workloads.a"
+  "libfpint_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpint_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpint_workloads.a"
+)

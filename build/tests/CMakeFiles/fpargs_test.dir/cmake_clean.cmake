@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpargs_test.dir/FpArgPassingTest.cpp.o"
+  "CMakeFiles/fpargs_test.dir/FpArgPassingTest.cpp.o.d"
+  "fpargs_test"
+  "fpargs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpargs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parserfuzz_test.dir/ParserFuzzTest.cpp.o"
+  "CMakeFiles/parserfuzz_test.dir/ParserFuzzTest.cpp.o.d"
+  "parserfuzz_test"
+  "parserfuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parserfuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdetail_test.dir/SimulatorDetailTest.cpp.o"
+  "CMakeFiles/simdetail_test.dir/SimulatorDetailTest.cpp.o.d"
+  "simdetail_test"
+  "simdetail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdetail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sir_test.dir/SirTest.cpp.o"
+  "CMakeFiles/sir_test.dir/SirTest.cpp.o.d"
+  "sir_test"
+  "sir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

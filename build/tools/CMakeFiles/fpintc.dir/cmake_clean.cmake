@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpintc.dir/fpintc.cpp.o"
+  "CMakeFiles/fpintc.dir/fpintc.cpp.o.d"
+  "fpintc"
+  "fpintc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpintc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
