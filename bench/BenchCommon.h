@@ -5,9 +5,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the per-figure/per-table reproduction binaries:
-/// compile a workload under a scheme (checking the pipeline succeeded)
-/// and optionally simulate it on a Table 1 machine.
+/// The parallel evaluation runtime shared by the per-figure/per-table
+/// reproduction binaries:
+///
+///  * compileWorkload() / simulateRun(): compile a workload under a
+///    scheme and simulate it on a machine, both memoized in the
+///    process-wide core::RunCache (each (workload, scheme, costs)
+///    point compiles exactly once per process; the VM trace is
+///    captured at most once per compiled module).
+///  * runMatrix(): fan per-item row computations out on the shared
+///    support::ThreadPool and append the resulting Table rows in
+///    deterministic item order, so the emitted tables are
+///    byte-identical to a serial evaluation.
+///  * ScopedBenchReport: per-binary wall-clock / cache footer on
+///    stderr (stdout stays reserved for the reproduced tables).
+///
+/// Threading contract: each matrix item is evaluated by exactly one
+/// pool task, so a row function may freely use its own item (including
+/// the workload's module) but must touch shared state only through the
+/// caches. Row functions signal a bad matrix cell by throwing (e.g.
+/// CompileError); runMatrix reports the cell on stderr and keeps
+/// evaluating the remaining items instead of killing the binary.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,35 +33,143 @@
 #define FPINT_BENCH_BENCHCOMMON_H
 
 #include "core/Pipeline.h"
+#include "core/RunCache.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace fpint {
 namespace bench {
 
-/// Compiles \p W under \p Scheme; aborts loudly on any pipeline error
-/// (the harness must never report numbers from a broken build).
-inline core::PipelineRun compileWorkload(const workloads::Workload &W,
-                                         partition::Scheme Scheme,
-                                         partition::CostParams Costs =
-                                             partition::CostParams()) {
+/// A pipeline produced unusable output for one matrix cell (the
+/// harness must never report numbers from a broken build).
+class CompileError : public std::runtime_error {
+public:
+  explicit CompileError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+using RunPtr = core::RunCache::RunPtr;
+
+/// Compiles module \p M (identified by \p Name) under \p Config via
+/// the process-wide cache; throws CompileError on pipeline failure.
+inline RunPtr compileModule(const sir::Module &M, const std::string &Name,
+                            const core::PipelineConfig &Config) {
+  RunPtr Run = core::RunCache::global().compile(M, Name, Config);
+  if (!Run->ok())
+    throw CompileError("pipeline failed for " + Name + " (" +
+                       partition::schemeName(Config.Scheme) + "): " +
+                       (Run->Errors.empty() ? "output mismatch"
+                                            : Run->Errors[0]));
+  return Run;
+}
+
+/// Compiles \p W under \p Scheme (memoized); throws CompileError on
+/// any pipeline error.
+inline RunPtr compileWorkload(const workloads::Workload &W,
+                              partition::Scheme Scheme,
+                              partition::CostParams Costs =
+                                  partition::CostParams()) {
   core::PipelineConfig Cfg;
   Cfg.Scheme = Scheme;
   Cfg.Costs = Costs;
   Cfg.TrainArgs = W.TrainArgs;
   Cfg.RefArgs = W.RefArgs;
-  core::PipelineRun Run = core::compileAndMeasure(*W.M, Cfg);
-  if (!Run.ok()) {
-    std::fprintf(stderr, "pipeline failed for %s (%s): %s\n",
-                 W.Name.c_str(), partition::schemeName(Scheme),
-                 Run.Errors.empty() ? "output mismatch"
-                                    : Run.Errors[0].c_str());
-    std::abort();
-  }
-  return Run;
+  return compileModule(*W.M, W.Name, Cfg);
 }
+
+/// Simulates \p Run on \p Machine (memoized; replays the run's cached
+/// ref-input trace, so the functional VM is not re-executed).
+inline timing::SimStats simulateRun(const RunPtr &Run,
+                                    const timing::MachineConfig &Machine) {
+  return core::RunCache::global().simulate(Run, Machine);
+}
+
+/// One row-producing task of a bench matrix: returns the Table rows
+/// for a single item (usually one workload).
+using MatrixRows = std::vector<std::vector<std::string>>;
+
+/// Evaluates Row(Items[i]) for every item on the shared thread pool
+/// and appends the produced rows to \p T in item order, making the
+/// parallel table byte-identical to a serial evaluation. A row
+/// function that throws fails only its own cell: the error is
+/// reported on stderr (prefixed with \p What) and the table simply
+/// lacks that item's rows.
+template <typename Item, typename RowFn>
+void runMatrix(const std::vector<Item> &Items, Table &T, RowFn Row,
+               const char *What = "matrix cell") {
+  support::ThreadPool &Pool = support::ThreadPool::global();
+  std::vector<std::future<MatrixRows>> Pending;
+  Pending.reserve(Items.size());
+  for (const Item &I : Items)
+    Pending.push_back(Pool.submit([&I, &Row] { return Row(I); }));
+  for (size_t I = 0; I < Pending.size(); ++I) {
+    try {
+      for (std::vector<std::string> &R : Pending[I].get())
+        T.addRow(std::move(R));
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "[bench] %s %zu failed: %s\n", What, I,
+                   E.what());
+    }
+  }
+}
+
+/// The (workloads x schemes x machines) convenience form from the
+/// evaluation-runtime design: every (scheme, machine) pair is
+/// compiled and simulated for each workload (all through the caches),
+/// then Row emits the workload's rows from the warmed caches.
+template <typename RowFn>
+void runMatrix(const std::vector<workloads::Workload> &Ws,
+               const std::vector<partition::Scheme> &Schemes,
+               const std::vector<timing::MachineConfig> &Machines,
+               Table &T, RowFn Row) {
+  runMatrix(
+      Ws, T,
+      [&](const workloads::Workload &W) {
+        for (partition::Scheme S : Schemes) {
+          RunPtr Run = compileWorkload(W, S);
+          for (const timing::MachineConfig &M : Machines)
+            simulateRun(Run, M);
+        }
+        return Row(W);
+      },
+      "workload row");
+}
+
+/// Prints a wall-clock + parallelism + cache-effectiveness footer on
+/// stderr when the binary exits. Construct one at the top of main().
+class ScopedBenchReport {
+public:
+  explicit ScopedBenchReport(const char *Name)
+      : Name(Name), Start(std::chrono::steady_clock::now()) {}
+
+  ~ScopedBenchReport() {
+    using namespace std::chrono;
+    double Secs = duration_cast<duration<double>>(
+                      steady_clock::now() - Start)
+                      .count();
+    core::RunCache::Stats S = core::RunCache::global().stats();
+    std::fprintf(stderr,
+                 "[bench] %s: wall %.2fs, jobs %u, compiles %llu "
+                 "(%llu cached), sims %llu (%llu cached)\n",
+                 Name, Secs, support::ThreadPool::global().threadCount(),
+                 static_cast<unsigned long long>(S.CompileMisses),
+                 static_cast<unsigned long long>(S.CompileHits),
+                 static_cast<unsigned long long>(S.SimMisses),
+                 static_cast<unsigned long long>(S.SimHits));
+  }
+
+private:
+  const char *Name;
+  std::chrono::steady_clock::time_point Start;
+};
 
 } // namespace bench
 } // namespace fpint

@@ -23,38 +23,43 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("ablation_machine");
   std::printf("Machine ablations (advanced scheme)\n\n");
 
   // Predictor ablation on the branchiest workloads.
   {
+    std::vector<workloads::Workload> Ws;
+    for (const char *Name : {"compress", "go", "m88ksim"})
+      Ws.push_back(workloads::workloadByName(Name));
     Table T({"benchmark", "predictor", "accuracy", "cycles", "speedup vs "
                                                              "static"});
-    for (const char *Name : {"compress", "go", "m88ksim"}) {
-      workloads::Workload W = workloads::workloadByName(Name);
-      core::PipelineRun Adv =
+    bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+      bench::RunPtr Adv =
           bench::compileWorkload(W, partition::Scheme::Advanced);
       uint64_t StaticCycles = 0;
+      bench::MatrixRows Rows;
       for (timing::PredictorKind K :
            {timing::PredictorKind::StaticNotTaken,
             timing::PredictorKind::Gshare,
             timing::PredictorKind::McFarling}) {
         timing::MachineConfig M = timing::MachineConfig::fourWay();
         M.Predictor = K;
-        timing::SimStats S = core::simulate(Adv, M);
+        timing::SimStats S = bench::simulateRun(Adv, M);
         const char *KName = K == timing::PredictorKind::Gshare ? "gshare"
                             : K == timing::PredictorKind::McFarling
                                 ? "mcfarling"
                                 : "static-NT";
         if (K == timing::PredictorKind::StaticNotTaken)
           StaticCycles = S.Cycles;
-        T.addRow({K == timing::PredictorKind::StaticNotTaken ? W.Name : "",
-                  KName, Table::pct(S.branchAccuracy()),
-                  Table::num(S.Cycles),
-                  Table::pct(static_cast<double>(StaticCycles) /
-                                 static_cast<double>(S.Cycles) -
-                             1.0)});
+        Rows.push_back(
+            {K == timing::PredictorKind::StaticNotTaken ? W.Name : "",
+             KName, Table::pct(S.branchAccuracy()), Table::num(S.Cycles),
+             Table::pct(static_cast<double>(StaticCycles) /
+                            static_cast<double>(S.Cycles) -
+                        1.0)});
       }
-    }
+      return Rows;
+    });
     T.print();
   }
 
@@ -62,22 +67,25 @@ int main() {
   // front end that stops at taken control transfers.
   {
     std::printf("\nFetch-policy ablation (advanced scheme, 4-way)\n\n");
+    std::vector<workloads::Workload> Ws;
+    for (const char *Name : {"gcc", "li", "m88ksim"})
+      Ws.push_back(workloads::workloadByName(Name));
     Table T({"benchmark", "ideal fetch cycles", "break-on-taken cycles",
              "slowdown"});
-    for (const char *Name : {"gcc", "li", "m88ksim"}) {
-      workloads::Workload W = workloads::workloadByName(Name);
-      core::PipelineRun Adv =
+    bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+      bench::RunPtr Adv =
           bench::compileWorkload(W, partition::Scheme::Advanced);
       timing::MachineConfig Ideal = timing::MachineConfig::fourWay();
       timing::MachineConfig Breaking = Ideal;
       Breaking.FetchBreaksOnTaken = true;
-      timing::SimStats SI = core::simulate(Adv, Ideal);
-      timing::SimStats SB = core::simulate(Adv, Breaking);
-      T.addRow({W.Name, Table::num(SI.Cycles), Table::num(SB.Cycles),
-                Table::pct(static_cast<double>(SB.Cycles) /
-                               static_cast<double>(SI.Cycles) -
-                           1.0)});
-    }
+      timing::SimStats SI = bench::simulateRun(Adv, Ideal);
+      timing::SimStats SB = bench::simulateRun(Adv, Breaking);
+      return bench::MatrixRows{
+          {W.Name, Table::num(SI.Cycles), Table::num(SB.Cycles),
+           Table::pct(static_cast<double>(SB.Cycles) /
+                          static_cast<double>(SI.Cycles) -
+                      1.0)}};
+    });
     T.print();
   }
 
@@ -85,12 +93,13 @@ int main() {
   {
     std::printf("\nIssue-width ablation: does FPa augmentation buy back a "
                 "wider INT machine?\n\n");
+    std::vector<workloads::Workload> Ws = workloads::intWorkloads();
     Table T({"benchmark", "conv 4-way", "augmented 4-way", "conv 8-way",
              "aug recovers"});
-    for (const workloads::Workload &W : workloads::intWorkloads()) {
-      core::PipelineRun Conv =
+    bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+      bench::RunPtr Conv =
           bench::compileWorkload(W, partition::Scheme::None);
-      core::PipelineRun Adv =
+      bench::RunPtr Adv =
           bench::compileWorkload(W, partition::Scheme::Advanced);
       timing::MachineConfig Four = timing::MachineConfig::fourWay();
       timing::MachineConfig FourConv = Four;
@@ -98,16 +107,16 @@ int main() {
       timing::MachineConfig EightConv = timing::MachineConfig::eightWay();
       EightConv.FpaEnabled = false;
 
-      uint64_t C4 = core::simulate(Conv, FourConv).Cycles;
-      uint64_t A4 = core::simulate(Adv, Four).Cycles;
-      uint64_t C8 = core::simulate(Conv, EightConv).Cycles;
+      uint64_t C4 = bench::simulateRun(Conv, FourConv).Cycles;
+      uint64_t A4 = bench::simulateRun(Adv, Four).Cycles;
+      uint64_t C8 = bench::simulateRun(Conv, EightConv).Cycles;
       // Fraction of the 4-way -> 8-way conventional gap that the
       // augmented 4-way machine closes.
       double Gap = static_cast<double>(C4 - C8);
       double Closed = Gap > 0 ? static_cast<double>(C4 - A4) / Gap : 0.0;
-      T.addRow({W.Name, Table::num(C4), Table::num(A4), Table::num(C8),
-                Table::pct(Closed)});
-    }
+      return bench::MatrixRows{{W.Name, Table::num(C4), Table::num(A4),
+                                Table::num(C8), Table::pct(Closed)}};
+    });
     T.print();
     std::printf("\n'aug recovers' = share of the conventional 4-way ->"
                 " 8-way cycle gap closed by\naugmenting the 4-way machine "

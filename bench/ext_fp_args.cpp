@@ -68,61 +68,65 @@ loop:
 
 } // namespace
 
+namespace {
+
+struct Item {
+  std::string Name;
+  const sir::Module *M = nullptr;
+  std::vector<int32_t> Train, Ref;
+};
+
+} // namespace
+
 int main() {
+  bench::ScopedBenchReport Report("ext_fp_args");
   std::printf("Section 6.6 extension: passing integer arguments in FP "
               "registers (advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
   timing::MachineConfig Conventional = Machine;
   Conventional.FpaEnabled = false;
 
+  sir::ParseResult PR = sir::parseModule(HotCallKernel);
+  if (!PR.ok())
+    std::abort();
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
+
+  std::vector<Item> Items;
+  Items.push_back({"hot-call kernel", PR.M.get(), {200}, {4000}});
+  for (const workloads::Workload &W : Ws)
+    Items.push_back({W.Name, W.M.get(), W.TrainArgs, W.RefArgs});
+
   Table T({"benchmark", "slots converted", "copies off->on",
            "copy-backs off->on", "dyn instrs off->on", "speedup off",
            "speedup on"});
-
-  auto Row = [&](const std::string &Name, const sir::Module &M,
-                 std::vector<int32_t> Train, std::vector<int32_t> Ref) {
+  bench::runMatrix(Items, T, [&](const Item &It) {
     core::PipelineConfig Base;
     Base.Scheme = partition::Scheme::None;
-    Base.TrainArgs = Train;
-    Base.RefArgs = Ref;
-    core::PipelineRun Conv = core::compileAndMeasure(M, Base);
-    if (!Conv.ok())
-      std::abort();
-    uint64_t ConvCycles = core::simulate(Conv, Conventional).Cycles;
+    Base.TrainArgs = It.Train;
+    Base.RefArgs = It.Ref;
+    bench::RunPtr Conv = bench::compileModule(*It.M, It.Name, Base);
+    uint64_t ConvCycles = bench::simulateRun(Conv, Conventional).Cycles;
 
     core::PipelineConfig Off = Base;
     Off.Scheme = partition::Scheme::Advanced;
-    core::PipelineRun OffRun = core::compileAndMeasure(M, Off);
+    bench::RunPtr OffRun = bench::compileModule(*It.M, It.Name, Off);
     core::PipelineConfig On = Off;
     On.EnableFpArgPassing = true;
-    core::PipelineRun OnRun = core::compileAndMeasure(M, On);
-    if (!OffRun.ok() || !OnRun.ok())
-      std::abort();
+    bench::RunPtr OnRun = bench::compileModule(*It.M, It.Name, On);
 
-    timing::SimStats SOff = core::simulate(OffRun, Machine);
-    timing::SimStats SOn = core::simulate(OnRun, Machine);
-    T.addRow({Name, Table::num(OnRun.FpArgs.ArgsConverted),
-              Table::num(OffRun.Stats.Copies) + " -> " +
-                  Table::num(OnRun.Stats.Copies),
-              Table::num(OffRun.Stats.CopyBacks) + " -> " +
-                  Table::num(OnRun.Stats.CopyBacks),
-              Table::num(OffRun.Stats.Total) + " -> " +
-                  Table::num(OnRun.Stats.Total),
-              Table::pct(static_cast<double>(ConvCycles) / SOff.Cycles -
-                         1.0),
-              Table::pct(static_cast<double>(ConvCycles) / SOn.Cycles -
-                         1.0)});
-  };
-
-  {
-    sir::ParseResult PR = sir::parseModule(HotCallKernel);
-    if (!PR.ok())
-      std::abort();
-    Row("hot-call kernel", *PR.M, {200}, {4000});
-  }
-  for (const workloads::Workload &W : workloads::intWorkloads())
-    Row(W.Name, *W.M, W.TrainArgs, W.RefArgs);
-
+    timing::SimStats SOff = bench::simulateRun(OffRun, Machine);
+    timing::SimStats SOn = bench::simulateRun(OnRun, Machine);
+    return bench::MatrixRows{
+        {It.Name, Table::num(OnRun->FpArgs.ArgsConverted),
+         Table::num(OffRun->Stats.Copies) + " -> " +
+             Table::num(OnRun->Stats.Copies),
+         Table::num(OffRun->Stats.CopyBacks) + " -> " +
+             Table::num(OnRun->Stats.CopyBacks),
+         Table::num(OffRun->Stats.Total) + " -> " +
+             Table::num(OnRun->Stats.Total),
+         Table::pct(static_cast<double>(ConvCycles) / SOff.Cycles - 1.0),
+         Table::pct(static_cast<double>(ConvCycles) / SOn.Cycles - 1.0)}};
+  });
   T.print();
   std::printf("\nThe paper proposes this as future work; where argument "
               "values are computed and\nconsumed in FPa (the kernel), "

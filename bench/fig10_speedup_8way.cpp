@@ -19,6 +19,7 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("fig10_speedup_8way");
   std::printf("Figure 10: Speedups over a conventional 8-way machine\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::eightWay();
   timing::MachineConfig Conventional = Machine;
@@ -28,28 +29,30 @@ int main() {
   timing::MachineConfig FourWayConv = FourWay;
   FourWayConv.FpaEnabled = false;
 
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "basic", "advanced", "advanced (4-way)",
            "8way/4way conv"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Conv =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Conv =
         bench::compileWorkload(W, partition::Scheme::None);
-    core::PipelineRun Basic =
+    bench::RunPtr Basic =
         bench::compileWorkload(W, partition::Scheme::Basic);
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
 
-    timing::SimStats Conv8 = core::simulate(Conv, Conventional);
-    timing::SimStats Basic8 = core::simulate(Basic, Machine);
-    timing::SimStats Adv8 = core::simulate(Adv, Machine);
-    timing::SimStats Conv4 = core::simulate(Conv, FourWayConv);
-    timing::SimStats Adv4 = core::simulate(Adv, FourWay);
+    timing::SimStats Conv8 = bench::simulateRun(Conv, Conventional);
+    timing::SimStats Basic8 = bench::simulateRun(Basic, Machine);
+    timing::SimStats Adv8 = bench::simulateRun(Adv, Machine);
+    timing::SimStats Conv4 = bench::simulateRun(Conv, FourWayConv);
+    timing::SimStats Adv4 = bench::simulateRun(Adv, FourWay);
 
-    T.addRow({W.Name, Table::pct(core::speedup(Conv8, Basic8) - 1.0),
-              Table::pct(core::speedup(Conv8, Adv8) - 1.0),
-              Table::pct(core::speedup(Conv4, Adv4) - 1.0),
-              Table::fmt(static_cast<double>(Conv4.Cycles) /
-                         static_cast<double>(Conv8.Cycles))});
-  }
+    return bench::MatrixRows{
+        {W.Name, Table::pct(core::speedup(Conv8, Basic8) - 1.0),
+         Table::pct(core::speedup(Conv8, Adv8) - 1.0),
+         Table::pct(core::speedup(Conv4, Adv4) - 1.0),
+         Table::fmt(static_cast<double>(Conv4.Cycles) /
+                    static_cast<double>(Conv8.Cycles))}};
+  });
   T.print();
   std::printf("\nPaper: 8-way improvements are much smaller than 4-way "
               "because INT issue width\nalready covers the available "

@@ -20,20 +20,23 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("fig8_partition_size");
   std::printf("Figure 8: Size of the FPa partition "
               "(%% of dynamic instructions offloaded)\n\n");
 
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "basic", "advanced", "adv/basic", "dyn instrs"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Basic =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Basic =
         bench::compileWorkload(W, partition::Scheme::Basic);
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
-    double B = Basic.Stats.fpaFraction();
-    double A = Adv.Stats.fpaFraction();
-    T.addRow({W.Name, Table::pct(B), Table::pct(A),
-              Table::fmt(B > 0 ? A / B : 0.0), Table::num(Adv.Stats.Total)});
-  }
+    double B = Basic->Stats.fpaFraction();
+    double A = Adv->Stats.fpaFraction();
+    return bench::MatrixRows{{W.Name, Table::pct(B), Table::pct(A),
+                              Table::fmt(B > 0 ? A / B : 0.0),
+                              Table::num(Adv->Stats.Total)}};
+  });
   T.print();
   std::printf("\nPaper: basic 5%%-29%%, advanced 9%%-41%%; advanced ~2x basic "
               "for go/compress;\nijpeg 10.7%% -> 32.1%%; li shows almost no "

@@ -21,31 +21,33 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("fig9_speedup_4way");
   std::printf("Figure 9: Speedups over a conventional 4-way machine\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
   timing::MachineConfig Conventional = Machine;
   Conventional.FpaEnabled = false;
 
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "basic", "advanced", "conv cycles", "adv IPC",
            "br acc"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Conv =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Conv =
         bench::compileWorkload(W, partition::Scheme::None);
-    core::PipelineRun Basic =
+    bench::RunPtr Basic =
         bench::compileWorkload(W, partition::Scheme::Basic);
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
 
-    timing::SimStats ConvStats = core::simulate(Conv, Conventional);
-    timing::SimStats BasicStats = core::simulate(Basic, Machine);
-    timing::SimStats AdvStats = core::simulate(Adv, Machine);
+    timing::SimStats ConvStats = bench::simulateRun(Conv, Conventional);
+    timing::SimStats BasicStats = bench::simulateRun(Basic, Machine);
+    timing::SimStats AdvStats = bench::simulateRun(Adv, Machine);
 
-    T.addRow({W.Name,
-              Table::pct(core::speedup(ConvStats, BasicStats) - 1.0),
-              Table::pct(core::speedup(ConvStats, AdvStats) - 1.0),
-              Table::num(ConvStats.Cycles), Table::fmt(AdvStats.ipc()),
-              Table::pct(AdvStats.branchAccuracy())});
-  }
+    return bench::MatrixRows{
+        {W.Name, Table::pct(core::speedup(ConvStats, BasicStats) - 1.0),
+         Table::pct(core::speedup(ConvStats, AdvStats) - 1.0),
+         Table::num(ConvStats.Cycles), Table::fmt(AdvStats.ipc()),
+         Table::pct(AdvStats.branchAccuracy())}};
+  });
   T.print();
   std::printf("\nPaper: advanced speedups 2.5%%-23.1%%; m88ksim ~23%%, "
               "compress/ijpeg/m88ksim >10%%,\nli smallest; advanced >= basic "

@@ -34,7 +34,11 @@
 
 using namespace fpint;
 
+// This binary stays serial: it renumber()s each workload module in
+// place before building RDGs, so sharing modules with concurrent
+// matrix tasks would race. The compile cache still applies.
 int main() {
+  bench::ScopedBenchReport Report("sec4_slice_profile");
   std::printf("Section 4: dynamic slice census and the FPa upper bound\n\n");
 
   Table T({"benchmark", "ldst slice", "mem ops", "call/ret", "unsupported",
@@ -85,11 +89,11 @@ int main() {
     }
     double Bound = 1.0 - (LdSt + MemOps + CallRet + Unsupported) / Total;
 
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
     T.addRow({W.Name, Table::pct(LdSt / Total), Table::pct(MemOps / Total),
               Table::pct(CallRet / Total), Table::pct(Unsupported / Total),
-              Table::pct(Bound), Table::pct(Adv.Stats.fpaFraction())});
+              Table::pct(Bound), Table::pct(Adv->Stats.fpaFraction())});
   }
   T.print();
   std::printf(

@@ -20,26 +20,22 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("sec61_cost_sweep");
   std::printf("Section 6.1: cost-model parameter sweep "
               "(advanced scheme, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
   timing::MachineConfig Conventional = Machine;
   Conventional.FpaEnabled = false;
 
-  // Conventional baselines are parameter independent; compute once.
   std::vector<workloads::Workload> Ws = workloads::intWorkloads();
-  std::vector<uint64_t> ConvCycles;
-  for (const workloads::Workload &W : Ws) {
-    core::PipelineRun Conv =
-        bench::compileWorkload(W, partition::Scheme::None);
-    ConvCycles.push_back(core::simulate(Conv, Conventional).Cycles);
-  }
 
   const double CopySweep[] = {1.5, 3.0, 4.0, 6.0, 9.0};
   const double DupSweep[] = {1.0, 2.5, 5.0};
 
-  Table T({"o_copy", "o_dupl", "mean offload", "mean speedup",
-           "mean copy+dup ovh"});
+  // One matrix item per admissible (o_copy, o_dupl) point; the
+  // parameter-independent conventional baselines are shared across
+  // items through the run cache.
+  std::vector<partition::CostParams> Sweep;
   for (double OCopy : CopySweep) {
     for (double ODup : DupSweep) {
       if (ODup >= OCopy)
@@ -47,23 +43,33 @@ int main() {
       partition::CostParams P;
       P.CopyOverhead = OCopy;
       P.DupOverhead = ODup;
-      double SumOffload = 0, SumSpeedup = 0, SumOvh = 0;
-      for (size_t I = 0; I < Ws.size(); ++I) {
-        core::PipelineRun Adv =
-            bench::compileWorkload(Ws[I], partition::Scheme::Advanced, P);
-        timing::SimStats S = core::simulate(Adv, Machine);
-        SumOffload += Adv.Stats.fpaFraction();
-        SumSpeedup += static_cast<double>(ConvCycles[I]) /
-                          static_cast<double>(S.Cycles) -
-                      1.0;
-        SumOvh += Adv.Stats.copyFraction() + Adv.Stats.dupFraction();
-      }
-      double N = static_cast<double>(Ws.size());
-      T.addRow({Table::fmt(OCopy, 1), Table::fmt(ODup, 1),
-                Table::pct(SumOffload / N), Table::pct(SumSpeedup / N),
-                Table::pct(SumOvh / N)});
+      Sweep.push_back(P);
     }
   }
+
+  Table T({"o_copy", "o_dupl", "mean offload", "mean speedup",
+           "mean copy+dup ovh"});
+  bench::runMatrix(Sweep, T, [&](const partition::CostParams &P) {
+    double SumOffload = 0, SumSpeedup = 0, SumOvh = 0;
+    for (const workloads::Workload &W : Ws) {
+      bench::RunPtr Conv =
+          bench::compileWorkload(W, partition::Scheme::None);
+      uint64_t ConvCycles = bench::simulateRun(Conv, Conventional).Cycles;
+      bench::RunPtr Adv =
+          bench::compileWorkload(W, partition::Scheme::Advanced, P);
+      timing::SimStats S = bench::simulateRun(Adv, Machine);
+      SumOffload += Adv->Stats.fpaFraction();
+      SumSpeedup += static_cast<double>(ConvCycles) /
+                        static_cast<double>(S.Cycles) -
+                    1.0;
+      SumOvh += Adv->Stats.copyFraction() + Adv->Stats.dupFraction();
+    }
+    double N = static_cast<double>(Ws.size());
+    return bench::MatrixRows{
+        {Table::fmt(P.CopyOverhead, 1), Table::fmt(P.DupOverhead, 1),
+         Table::pct(SumOffload / N), Table::pct(SumSpeedup / N),
+         Table::pct(SumOvh / N)}};
+  });
   T.print();
   std::printf("\nPaper: best results with o_copy in [3,6] and o_dupl in "
               "[1.5,3]; too-small\noverheads admit unprofitable copies, "

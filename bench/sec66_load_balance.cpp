@@ -22,6 +22,7 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("sec66_load_balance");
   std::printf("Section 6.6 ablation: greedy vs load-balanced advanced "
               "partitioning (4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
@@ -29,24 +30,27 @@ int main() {
   Conventional.FpaEnabled = false;
 
   const double Caps[] = {1.0, 0.40, 0.25};
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "cap", "offload", "int idle|fpa busy", "speedup"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Conv =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Conv =
         bench::compileWorkload(W, partition::Scheme::None);
-    timing::SimStats ConvStats = core::simulate(Conv, Conventional);
+    timing::SimStats ConvStats = bench::simulateRun(Conv, Conventional);
+    bench::MatrixRows Rows;
     for (double Cap : Caps) {
       partition::CostParams P;
       P.FpaShareCap = Cap;
-      core::PipelineRun Adv =
+      bench::RunPtr Adv =
           bench::compileWorkload(W, partition::Scheme::Advanced, P);
-      timing::SimStats S = core::simulate(Adv, Machine);
-      T.addRow({Cap == 1.0 ? W.Name : "",
-                Cap == 1.0 ? "greedy" : Table::fmt(Cap, 2),
-                Table::pct(Adv.Stats.fpaFraction()),
-                Table::pct(S.intIdleWhileFpBusy()),
-                Table::pct(core::speedup(ConvStats, S) - 1.0)});
+      timing::SimStats S = bench::simulateRun(Adv, Machine);
+      Rows.push_back({Cap == 1.0 ? W.Name : "",
+                      Cap == 1.0 ? "greedy" : Table::fmt(Cap, 2),
+                      Table::pct(Adv->Stats.fpaFraction()),
+                      Table::pct(S.intIdleWhileFpBusy()),
+                      Table::pct(core::speedup(ConvStats, S) - 1.0)});
     }
-  }
+    return Rows;
+  });
   T.print();
   std::printf("\nThe cap trades offload for balance; where greedy "
               "partitioning left INT idle\n(compress/ijpeg here), a "

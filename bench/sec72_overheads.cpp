@@ -23,42 +23,45 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("sec72_overheads");
   std::printf("Section 7.2 / 6.6: Advanced-scheme overheads\n\n");
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "dyn increase", "copies", "dups", "copy-backs",
            "static growth", "load delta"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Conv =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Conv =
         bench::compileWorkload(W, partition::Scheme::None);
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
 
     double DynIncrease =
-        static_cast<double>(Adv.Stats.Total) /
-            static_cast<double>(Conv.Stats.Total) -
+        static_cast<double>(Adv->Stats.Total) /
+            static_cast<double>(Conv->Stats.Total) -
         1.0;
-    double CopyFrac = static_cast<double>(Adv.Stats.Copies) /
-                      static_cast<double>(Adv.Stats.Total);
-    double DupFrac = Adv.Stats.dupFraction();
-    double CopyBackFrac = static_cast<double>(Adv.Stats.CopyBacks) /
-                          static_cast<double>(Adv.Stats.Total);
+    double CopyFrac = static_cast<double>(Adv->Stats.Copies) /
+                      static_cast<double>(Adv->Stats.Total);
+    double DupFrac = Adv->Stats.dupFraction();
+    double CopyBackFrac = static_cast<double>(Adv->Stats.CopyBacks) /
+                          static_cast<double>(Adv->Stats.Total);
 
     unsigned StaticConv = 0, StaticAdv = 0;
-    for (const auto &F : Conv.Compiled->functions())
+    for (const auto &F : Conv->Compiled->functions())
       StaticConv += F->numInstrIds();
-    for (const auto &F : Adv.Compiled->functions())
+    for (const auto &F : Adv->Compiled->functions())
       StaticAdv += F->numInstrIds();
     double StaticGrowth =
         static_cast<double>(StaticAdv) / static_cast<double>(StaticConv) -
         1.0;
 
-    double LoadDelta = static_cast<double>(Adv.Stats.Loads) /
-                           static_cast<double>(Conv.Stats.Loads) -
+    double LoadDelta = static_cast<double>(Adv->Stats.Loads) /
+                           static_cast<double>(Conv->Stats.Loads) -
                        1.0;
 
-    T.addRow({W.Name, Table::pct(DynIncrease), Table::pct(CopyFrac),
-              Table::pct(DupFrac), Table::pct(CopyBackFrac),
-              Table::pct(StaticGrowth), Table::pct(LoadDelta, 2)});
-  }
+    return bench::MatrixRows{
+        {W.Name, Table::pct(DynIncrease), Table::pct(CopyFrac),
+         Table::pct(DupFrac), Table::pct(CopyBackFrac),
+         Table::pct(StaticGrowth), Table::pct(LoadDelta, 2)}};
+  });
   T.print();
   std::printf("\nPaper: dynamic increase <1%% typical, max 4%% (compress: "
               "3.4%% copies + 0.6%% dups);\nstatic growth negligible; load "

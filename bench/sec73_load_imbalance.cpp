@@ -20,22 +20,29 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("sec73_load_imbalance");
   std::printf("Section 7.3: INT-idle-while-FPa-busy (advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
 
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "int idle | fpa busy", "fpa busy cycles",
            "int issue/cycle", "fp issue/cycle"});
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    core::PipelineRun Adv =
+  // The (workloads x schemes x machines) convenience form: the single
+  // (Advanced, 4-way) cell is compiled+simulated on the pool, then the
+  // row function reads the warmed caches.
+  bench::runMatrix(Ws, {partition::Scheme::Advanced}, {Machine}, T,
+                   [&](const workloads::Workload &W) {
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
-    timing::SimStats S = core::simulate(Adv, Machine);
-    T.addRow({W.Name, Table::pct(S.intIdleWhileFpBusy()),
-              Table::num(S.FpBusyCycles),
-              Table::fmt(static_cast<double>(S.IntIssued) /
-                         static_cast<double>(S.Cycles)),
-              Table::fmt(static_cast<double>(S.FpIssued) /
-                         static_cast<double>(S.Cycles))});
-  }
+    timing::SimStats S = bench::simulateRun(Adv, Machine);
+    return bench::MatrixRows{
+        {W.Name, Table::pct(S.intIdleWhileFpBusy()),
+         Table::num(S.FpBusyCycles),
+         Table::fmt(static_cast<double>(S.IntIssued) /
+                    static_cast<double>(S.Cycles)),
+         Table::fmt(static_cast<double>(S.FpIssued) /
+                    static_cast<double>(S.Cycles))}};
+  });
   T.print();
   std::printf("\nPaper: for m88ksim the INT subsystem idles in 12.4%% of "
               "FPa-busy cycles,\npartly explaining why its speedup trails "

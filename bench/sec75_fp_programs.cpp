@@ -20,28 +20,31 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("sec75_fp_programs");
   std::printf("Section 7.5: Partitioning floating-point programs "
               "(advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
   timing::MachineConfig Conventional = Machine;
   Conventional.FpaEnabled = false;
 
+  std::vector<workloads::Workload> Ws = workloads::fpWorkloads();
   Table T({"benchmark", "int offloaded", "native fp", "speedup",
            "conv cycles"});
-  for (const workloads::Workload &W : workloads::fpWorkloads()) {
-    core::PipelineRun Conv =
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    bench::RunPtr Conv =
         bench::compileWorkload(W, partition::Scheme::None);
-    core::PipelineRun Adv =
+    bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
-    timing::SimStats ConvStats = core::simulate(Conv, Conventional);
-    timing::SimStats AdvStats = core::simulate(Adv, Machine);
-    double NativeFp = static_cast<double>(Adv.Stats.NativeFp) /
-                      static_cast<double>(Adv.Stats.Total);
-    T.addRow({W.Name, Table::pct(Adv.Stats.fpaFraction()),
-              Table::pct(NativeFp),
-              Table::pct(core::speedup(ConvStats, AdvStats) - 1.0),
-              Table::num(ConvStats.Cycles)});
-  }
+    timing::SimStats ConvStats = bench::simulateRun(Conv, Conventional);
+    timing::SimStats AdvStats = bench::simulateRun(Adv, Machine);
+    double NativeFp = static_cast<double>(Adv->Stats.NativeFp) /
+                      static_cast<double>(Adv->Stats.Total);
+    return bench::MatrixRows{
+        {W.Name, Table::pct(Adv->Stats.fpaFraction()),
+         Table::pct(NativeFp),
+         Table::pct(core::speedup(ConvStats, AdvStats) - 1.0),
+         Table::num(ConvStats.Cycles)}};
+  });
   T.print();
   std::printf("\nPaper: negligible change for FP programs except ear: 18%% "
               "of its (integer\nbranch/store-value) computation offloaded, "

@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "support/Table.h"
 #include "vm/VM.h"
 #include "workloads/Workloads.h"
@@ -22,10 +23,14 @@
 using namespace fpint;
 
 int main() {
+  bench::ScopedBenchReport Report("table2_benchmarks");
   std::printf("Table 2: Benchmark programs (synthetic SPEC stand-ins)\n\n");
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
+  for (workloads::Workload &W : workloads::fpWorkloads())
+    Ws.push_back(std::move(W));
   Table T({"benchmark", "input", "dyn instrs (ref)", "static instrs",
            "outputs"});
-  auto Row = [&](const workloads::Workload &W) {
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
     vm::VM::Options Opts;
     Opts.CollectProfile = true;
     vm::VM Machine(*W.M, Opts);
@@ -33,18 +38,15 @@ int main() {
     if (!R.Ok) {
       std::fprintf(stderr, "%s failed: %s\n", W.Name.c_str(),
                    R.Error.c_str());
-      return;
+      return bench::MatrixRows{};
     }
     unsigned StaticInstrs = 0;
     for (const auto &F : W.M->functions())
       StaticInstrs += F->numInstrIds();
-    T.addRow({W.Name, W.Input, Table::num(R.Steps),
-              Table::num(StaticInstrs), Table::num(R.Output.size())});
-  };
-  for (const workloads::Workload &W : workloads::intWorkloads())
-    Row(W);
-  for (const workloads::Workload &W : workloads::fpWorkloads())
-    Row(W);
+    return bench::MatrixRows{{W.Name, W.Input, Table::num(R.Steps),
+                              Table::num(StaticInstrs),
+                              Table::num(R.Output.size())}};
+  });
   T.print();
   std::printf("\nPaper's Table 2 inputs: compress=test.in, gcc=amptjp.i "
               "(browse.lsp/stmt.i...),\nm88ksim=ctl.raw+dhrybig, "

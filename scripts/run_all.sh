@@ -1,12 +1,48 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every table/figure of the reproduction.
+#
+# Bench binaries run the parallel evaluation runtime (thread pool +
+# run cache + trace reuse); set FPINT_JOBS=N to pin the worker count
+# (FPINT_JOBS=1 reproduces a serial evaluation bit-for-bit).
+#
+# Table/figure text goes to bench_output.txt (stdout only, so the file
+# is byte-stable across runs); per-binary wall-clock and cache
+# footers print to the terminal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Respect an already-configured build dir (whatever its generator);
+# prefer Ninja for fresh configures.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
+cmake --build build -j "$(nproc)"
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+now_ms() { date +%s%3N; }
+
+: > bench_output.txt
+declare -a names times
+total_start=$(now_ms)
 for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && "$b"
-  echo
-done 2>&1 | tee bench_output.txt
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$b" in
+    *micro_algorithms) continue ;; # google-benchmark; run explicitly
+  esac
+  start=$(now_ms)
+  "$b" >> bench_output.txt
+  echo >> bench_output.txt
+  end=$(now_ms)
+  names+=("$(basename "$b")")
+  times+=($((end - start)))
+done
+total_end=$(now_ms)
+
+echo
+echo "Bench wall-clock (FPINT_JOBS=${FPINT_JOBS:-auto}):"
+for i in "${!names[@]}"; do
+  printf '  %-28s %6d ms\n' "${names[$i]}" "${times[$i]}"
+done
+printf '  %-28s %6d ms\n' total $((total_end - total_start))

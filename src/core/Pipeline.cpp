@@ -11,6 +11,7 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
                                     PipelineConfig Config) {
   PipelineRun Run;
   Run.Config = Config;
+  Run.Trace = std::make_shared<TraceHandle>();
   Run.Compiled = Original.clone();
   sir::Module &M = *Run.Compiled;
 
@@ -78,13 +79,33 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
   return Run;
 }
 
+const std::vector<vm::TraceEntry> &PipelineRun::refTrace() const {
+  assert(ok() && "tracing a failed pipeline run");
+  assert(Trace && "run was not produced by compileAndMeasure");
+  std::call_once(Trace->Once, [this] {
+    vm::VM::Options Opts;
+    Opts.CollectTrace = true;
+    vm::VM Machine(*Compiled, Opts);
+    auto R = Machine.run(Config.RefArgs);
+    // ok() already proved this module/input pair executes cleanly.
+    assert(R.Ok && "trace generation failed");
+    (void)R;
+    Trace->Entries = Machine.takeTrace();
+    Trace->Captures = 1;
+  });
+  return Trace->Entries;
+}
+
 timing::SimStats core::simulate(const PipelineRun &Run,
                                 const timing::MachineConfig &Machine) {
   assert(Run.ok() && "simulating a failed pipeline run");
   assert(Run.Config.RunRegisterAllocation &&
          "timing simulation needs register-allocated code");
-  return timing::simulateModule(*Run.Compiled, Run.Alloc, Machine,
-                                Run.Config.RefArgs);
+  // Replay the cached ref-input trace: the dynamic instruction stream
+  // depends only on the compiled module and ref args, never on the
+  // machine configuration, so one capture serves every machine.
+  timing::Simulator Sim(Machine, Run.Alloc);
+  return Sim.run(Run.refTrace());
 }
 
 double core::speedup(const timing::SimStats &Conventional,

@@ -34,6 +34,7 @@
 #include "vm/VM.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,21 @@ struct PipelineConfig {
   bool RunOptimizations = true;
 };
 
+/// Lazily captured dynamic trace of a compiled module on the ref
+/// input. The trace is a pure function of (compiled module, ref args)
+/// -- it does not depend on any timing::MachineConfig -- so one
+/// capture can be replayed against any number of machine
+/// configurations. Thread-safe: concurrent first requests race only
+/// on the call_once.
+struct TraceHandle {
+  std::once_flag Once;
+  std::vector<vm::TraceEntry> Entries;
+
+  /// Number of VM executions performed to fill this handle (0 until
+  /// the first refTrace() call, 1 after; never more).
+  unsigned Captures = 0;
+};
+
 /// A compiled (partitioned + allocated) program with its measurements.
 struct PipelineRun {
   std::unique_ptr<sir::Module> Compiled;
@@ -68,7 +84,16 @@ struct PipelineRun {
   std::vector<std::string> Errors;
   PipelineConfig Config;
 
+  /// Cached ref-input trace (set by compileAndMeasure; shared so that
+  /// moving the run keeps the handle stable). TraceEntry values point
+  /// into *Compiled, so the trace is valid only while this run lives.
+  std::shared_ptr<TraceHandle> Trace;
+
   bool ok() const { return Errors.empty() && OutputsMatchOriginal; }
+
+  /// The ref-input dynamic trace, captured on first use and replayed
+  /// thereafter. Requires ok() and register-allocated code.
+  const std::vector<vm::TraceEntry> &refTrace() const;
 };
 
 /// Compiles \p Original per \p Config and measures it functionally.

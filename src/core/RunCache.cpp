@@ -1,0 +1,136 @@
+//===- core/RunCache.cpp - Memoized compile + simulate results ------------===//
+
+#include "core/RunCache.h"
+
+#include <cstdio>
+
+using namespace fpint;
+using namespace fpint::core;
+
+namespace {
+
+void appendDouble(std::string &Out, double V) {
+  // Hex-float form is exact: distinct doubles never collide, equal
+  // doubles always serialize identically.
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  Out += Buf;
+}
+
+void appendArgs(std::string &Out, const std::vector<int32_t> &Args) {
+  Out += '[';
+  for (int32_t A : Args) {
+    Out += std::to_string(A);
+    Out += ',';
+  }
+  Out += ']';
+}
+
+} // namespace
+
+std::string RunCache::runKey(const std::string &ModuleName,
+                             const PipelineConfig &Config) {
+  std::string Key = ModuleName;
+  Key += '|';
+  Key += std::to_string(static_cast<int>(Config.Scheme));
+  Key += '|';
+  appendDouble(Key, Config.Costs.CopyOverhead);
+  Key += '|';
+  appendDouble(Key, Config.Costs.DupOverhead);
+  Key += '|';
+  appendDouble(Key, Config.Costs.FpaShareCap);
+  Key += '|';
+  appendArgs(Key, Config.TrainArgs);
+  Key += '|';
+  appendArgs(Key, Config.RefArgs);
+  Key += '|';
+  Key += Config.RunRegisterAllocation ? '1' : '0';
+  Key += Config.EnableFpArgPassing ? '1' : '0';
+  Key += Config.RunOptimizations ? '1' : '0';
+  return Key;
+}
+
+RunCache::RunPtr RunCache::compile(const sir::Module &M,
+                                   const std::string &ModuleName,
+                                   const PipelineConfig &Config) {
+  const std::string Key = runKey(ModuleName, Config);
+  std::shared_future<RunPtr> Ready;
+  std::promise<RunPtr> Fill;
+  bool Compute = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Compiles.find(Key);
+    if (It != Compiles.end()) {
+      ++Counts.CompileHits;
+      Ready = It->second.Ready;
+    } else {
+      ++Counts.CompileMisses;
+      Ready = Fill.get_future().share();
+      Compiles.emplace(Key, Entry<RunPtr>{Ready});
+      Compute = true;
+    }
+  }
+  if (Compute) {
+    try {
+      Fill.set_value(std::make_shared<const PipelineRun>(
+          compileAndMeasure(M, Config)));
+    } catch (...) {
+      Fill.set_exception(std::current_exception());
+    }
+  }
+  // Waiting here is deadlock-free: a present-but-unready entry means
+  // the computing thread is already running (it inserted the entry
+  // before computing), never queued behind this one.
+  return Ready.get();
+}
+
+timing::SimStats RunCache::simulate(const RunPtr &Run,
+                                    const timing::MachineConfig &Machine) {
+  const std::pair<const PipelineRun *, std::string> Key(
+      Run.get(), Machine.canonicalKey());
+  std::shared_future<timing::SimStats> Ready;
+  std::promise<timing::SimStats> Fill;
+  bool Compute = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Sims.find(Key);
+    if (It != Sims.end()) {
+      ++Counts.SimHits;
+      Ready = It->second.Ready;
+    } else {
+      ++Counts.SimMisses;
+      Ready = Fill.get_future().share();
+      Sims.emplace(Key, Entry<timing::SimStats>{Ready});
+      // Pin the run so the pointer half of the key can never be
+      // reused by a different allocation while the entry exists.
+      Retained.push_back(Run);
+      Compute = true;
+    }
+  }
+  if (Compute) {
+    try {
+      Fill.set_value(core::simulate(*Run, Machine));
+    } catch (...) {
+      Fill.set_exception(std::current_exception());
+    }
+  }
+  return Ready.get();
+}
+
+RunCache::Stats RunCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+void RunCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Compiles.clear();
+  Sims.clear();
+  Retained.clear();
+  Counts = Stats();
+}
+
+RunCache &RunCache::global() {
+  static RunCache Cache;
+  return Cache;
+}

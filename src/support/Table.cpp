@@ -31,7 +31,7 @@ std::string Table::num(uint64_t Value) {
   return Buf;
 }
 
-void Table::print(std::FILE *Out) const {
+std::string Table::toString() const {
   std::vector<size_t> Widths(Header.size(), 0);
   auto Widen = [&](const std::vector<std::string> &Cells) {
     for (size_t I = 0; I < Cells.size(); ++I) {
@@ -44,20 +44,28 @@ void Table::print(std::FILE *Out) const {
   for (const auto &Row : Rows)
     Widen(Row);
 
-  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+  std::string Out;
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
     for (size_t I = 0; I < Widths.size(); ++I) {
       const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
-      std::fprintf(Out, "%-*s", static_cast<int>(Widths[I] + 2), Cell.c_str());
+      Out += Cell;
+      Out.append(Widths[I] + 2 - Cell.size(), ' ');
     }
-    std::fprintf(Out, "\n");
+    Out += '\n';
   };
 
-  PrintRow(Header);
+  RenderRow(Header);
   size_t Total = 0;
   for (size_t W : Widths)
     Total += W + 2;
-  std::string Sep(Total, '-');
-  std::fprintf(Out, "%s\n", Sep.c_str());
+  Out.append(Total, '-');
+  Out += '\n';
   for (const auto &Row : Rows)
-    PrintRow(Row);
+    RenderRow(Row);
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string S = toString();
+  std::fwrite(S.data(), 1, S.size(), Out);
 }

@@ -33,8 +33,15 @@ public:
   static std::string pct(double Fraction, int Precision = 1);
   static std::string num(uint64_t Value);
 
+  /// Renders the table (header, separator, rows) as one string --
+  /// exactly the bytes print() would emit.
+  std::string toString() const;
+
   /// Renders the table (header, separator, rows) to \p Out.
   void print(std::FILE *Out = stdout) const;
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
 
 private:
   std::vector<std::string> Header;

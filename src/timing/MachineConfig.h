@@ -30,6 +30,8 @@
 
 #include "timing/Cache.h"
 
+#include <string>
+
 namespace fpint {
 namespace timing {
 
@@ -72,6 +74,34 @@ struct MachineConfig {
   /// (",a") instructions. A conventional machine cannot run partitioned
   /// binaries.
   bool FpaEnabled = true;
+
+  /// Canonical serialization of every simulation-relevant field, used
+  /// as (part of) a memoization key by core::RunCache. Two configs
+  /// with equal keys produce identical SimStats for any trace. Name is
+  /// deliberately excluded (it is a display label). Keep in sync when
+  /// adding fields.
+  std::string canonicalKey() const {
+    auto Cache = [](const CacheConfig &C) {
+      return std::to_string(C.SizeBytes) + "/" + std::to_string(C.Assoc) +
+             "/" + std::to_string(C.LineBytes) + "/" +
+             std::to_string(C.HitLatency) + "/" +
+             std::to_string(C.MissPenalty);
+    };
+    return std::to_string(FetchWidth) + "," + std::to_string(DecodeWidth) +
+           "," + std::to_string(RetireWidth) + "," +
+           std::to_string(IntWindow) + "," + std::to_string(FpWindow) + "," +
+           std::to_string(MaxInFlight) + "," + std::to_string(IntUnits) +
+           "," + std::to_string(FpUnits) + "," +
+           std::to_string(LoadStorePorts) + "," +
+           std::to_string(IntPhysRegs) + "," + std::to_string(FpPhysRegs) +
+           ",I" + Cache(ICache) + ",D" + Cache(DCache) + ",P" +
+           std::to_string(static_cast<int>(Predictor)) + "/" +
+           std::to_string(PredictorTableBits) + "/" +
+           std::to_string(PredictorHistoryBits) + ",R" +
+           std::to_string(MispredictRedirect) + ",B" +
+           std::to_string(FetchBreaksOnTaken) + ",A" +
+           std::to_string(FpaEnabled);
+  }
 
   static MachineConfig fourWay() { return MachineConfig(); }
 

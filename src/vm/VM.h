@@ -84,6 +84,10 @@ public:
   Result run(const std::vector<int32_t> &MainArgs = {});
 
   const std::vector<TraceEntry> &trace() const { return Trace; }
+
+  /// Moves the collected trace out of the VM (for callers that cache
+  /// it beyond the VM's lifetime without copying).
+  std::vector<TraceEntry> takeTrace() { return std::move(Trace); }
   const Profile &profile() const { return Prof; }
 
   /// Static code address of \p I (valid after construction).
