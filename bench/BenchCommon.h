@@ -34,12 +34,14 @@
 
 #include "core/Pipeline.h"
 #include "core/RunCache.h"
+#include "stats/StatsRegistry.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -86,10 +88,17 @@ inline RunPtr compileWorkload(const workloads::Workload &W,
 }
 
 /// Simulates \p Run on \p Machine (memoized; replays the run's cached
-/// ref-input trace, so the functional VM is not re-executed).
+/// ref-input trace, so the functional VM is not re-executed). With
+/// FPINT_TELEMETRY=1 every simulated point is also recorded in the
+/// process-wide StatsRegistry, from which ScopedBenchReport emits the
+/// binary's bench_out/<name>.json report at exit.
 inline timing::SimStats simulateRun(const RunPtr &Run,
                                     const timing::MachineConfig &Machine) {
-  return core::RunCache::global().simulate(Run, Machine);
+  timing::SimStats S = core::RunCache::global().simulate(Run, Machine);
+  stats::StatsRegistry &Reg = stats::StatsRegistry::global();
+  if (Reg.enabled())
+    Reg.record(Run->Name, Run->Config, Machine, S);
+  return S;
 }
 
 /// One row-producing task of a bench matrix: returns the Table rows
@@ -144,7 +153,10 @@ void runMatrix(const std::vector<workloads::Workload> &Ws,
 }
 
 /// Prints a wall-clock + parallelism + cache-effectiveness footer on
-/// stderr when the binary exits. Construct one at the top of main().
+/// stderr when the binary exits, and -- when telemetry is enabled --
+/// writes the binary's structured JSON report (one record per
+/// simulated point) into bench_out/ (or $FPINT_BENCH_OUT).
+/// Construct one at the top of main().
 class ScopedBenchReport {
 public:
   explicit ScopedBenchReport(const char *Name)
@@ -164,6 +176,19 @@ public:
                  static_cast<unsigned long long>(S.CompileHits),
                  static_cast<unsigned long long>(S.SimMisses),
                  static_cast<unsigned long long>(S.SimHits));
+
+    stats::StatsRegistry &Reg = stats::StatsRegistry::global();
+    if (!Reg.enabled() || Reg.numRecords() == 0)
+      return;
+    const char *Dir = std::getenv("FPINT_BENCH_OUT");
+    std::string OutDir = Dir && *Dir ? Dir : "bench_out";
+    std::string Err;
+    if (Reg.writeReport(OutDir, Name, &Err))
+      std::fprintf(stderr, "[bench] %s: wrote %s/%s.json (%zu runs)\n",
+                   Name, OutDir.c_str(), Name, Reg.numRecords());
+    else
+      std::fprintf(stderr, "[bench] %s: telemetry report failed: %s\n",
+                   Name, Err.c_str());
   }
 
 private:

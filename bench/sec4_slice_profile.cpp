@@ -34,9 +34,6 @@
 
 using namespace fpint;
 
-// This binary stays serial: it renumber()s each workload module in
-// place before building RDGs, so sharing modules with concurrent
-// matrix tasks would race. The compile cache still applies.
 int main() {
   bench::ScopedBenchReport Report("sec4_slice_profile");
   std::printf("Section 4: dynamic slice census and the FPa upper bound\n\n");
@@ -44,18 +41,24 @@ int main() {
   Table T({"benchmark", "ldst slice", "mem ops", "call/ret", "unsupported",
            "offloadable bound", "advanced achieves"});
 
-  for (const workloads::Workload &W : workloads::intWorkloads()) {
-    // Profile the original program on the ref input.
+  std::vector<workloads::Workload> Ws = workloads::intWorkloads();
+  bench::runMatrix(Ws, T, [&](const workloads::Workload &W) {
+    // The census renumber()s functions before building RDGs; analyze a
+    // private clone so the shared workload module is never mutated and
+    // the rows can run concurrently with the other matrix tasks.
+    std::unique_ptr<sir::Module> M = W.M->clone();
+    M->renumber();
+
+    // Profile the original (unpartitioned) program on the ref input.
     vm::VM::Options Opts;
     Opts.CollectProfile = true;
-    vm::VM Machine(*W.M, Opts);
+    vm::VM Machine(*M, Opts);
     auto R = Machine.run(W.RefArgs);
     if (!R.Ok)
-      std::abort();
+      throw bench::CompileError("ref run failed for " + W.Name);
 
     double Total = 0, LdSt = 0, MemOps = 0, CallRet = 0, Unsupported = 0;
-    for (const auto &F : W.M->functions()) {
-      F->renumber();
+    for (const auto &F : M->functions()) {
       analysis::CFG Cfg(*F);
       analysis::RDG G(*F, Cfg);
       std::vector<bool> Slice = G.ldstSlice();
@@ -91,10 +94,11 @@ int main() {
 
     bench::RunPtr Adv =
         bench::compileWorkload(W, partition::Scheme::Advanced);
-    T.addRow({W.Name, Table::pct(LdSt / Total), Table::pct(MemOps / Total),
-              Table::pct(CallRet / Total), Table::pct(Unsupported / Total),
-              Table::pct(Bound), Table::pct(Adv->Stats.fpaFraction())});
-  }
+    return bench::MatrixRows{
+        {W.Name, Table::pct(LdSt / Total), Table::pct(MemOps / Total),
+         Table::pct(CallRet / Total), Table::pct(Unsupported / Total),
+         Table::pct(Bound), Table::pct(Adv->Stats.fpaFraction())}};
+  });
   T.print();
   std::printf(
       "\nPaper (citing Palacharla & Smith): LdSt slices plus the memory "

@@ -105,7 +105,13 @@ timing::SimStats core::simulate(const PipelineRun &Run,
   // depends only on the compiled module and ref args, never on the
   // machine configuration, so one capture serves every machine.
   timing::Simulator Sim(Machine, Run.Alloc);
-  return Sim.run(Run.refTrace());
+  if (!stats::telemetryEnabled())
+    return Sim.run(Run.refTrace());
+  auto Breakdown = std::make_shared<stats::StallBreakdown>();
+  Sim.setEventSink(Breakdown.get());
+  timing::SimStats Stats = Sim.run(Run.refTrace());
+  Stats.Telemetry = std::move(Breakdown);
+  return Stats;
 }
 
 double core::speedup(const timing::SimStats &Conventional,

@@ -73,6 +73,9 @@ struct TraceHandle {
 
 /// A compiled (partitioned + allocated) program with its measurements.
 struct PipelineRun {
+  /// Module identity for reports and cache keys (set by RunCache and
+  /// the bench harness; empty for ad-hoc compileAndMeasure calls).
+  std::string Name;
   std::unique_ptr<sir::Module> Compiled;
   regalloc::ModuleAlloc Alloc;
   partition::ModuleRewrite Rewrite;
@@ -102,7 +105,8 @@ PipelineRun compileAndMeasure(const sir::Module &Original,
                               PipelineConfig Config);
 
 /// Traces the compiled program on the ref input and simulates it on
-/// \p Machine.
+/// \p Machine. When stats::telemetryEnabled(), a StallBreakdown sink
+/// is attached for the run and returned via SimStats::Telemetry.
 timing::SimStats simulate(const PipelineRun &Run,
                           const timing::MachineConfig &Machine);
 

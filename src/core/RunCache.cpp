@@ -72,8 +72,9 @@ RunCache::RunPtr RunCache::compile(const sir::Module &M,
   }
   if (Compute) {
     try {
-      Fill.set_value(std::make_shared<const PipelineRun>(
-          compileAndMeasure(M, Config)));
+      PipelineRun Run = compileAndMeasure(M, Config);
+      Run.Name = ModuleName;
+      Fill.set_value(std::make_shared<const PipelineRun>(std::move(Run)));
     } catch (...) {
       Fill.set_exception(std::current_exception());
     }

@@ -1,0 +1,237 @@
+//===- stats/Report.cpp - Structured JSON results and diffing -------------===//
+
+#include "stats/Report.h"
+
+#include "core/RunCache.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace fpint;
+using namespace fpint::stats;
+using json::Value;
+
+const char *const stats::ReportSchema = "fpint-bench-report-v1";
+
+static Value cacheToJson(const timing::CacheConfig &C) {
+  Value V = Value::object();
+  V.set("size_bytes", C.SizeBytes);
+  V.set("assoc", C.Assoc);
+  V.set("line_bytes", C.LineBytes);
+  V.set("hit_latency", C.HitLatency);
+  V.set("miss_penalty", C.MissPenalty);
+  return V;
+}
+
+static const char *predictorName(timing::PredictorKind K) {
+  switch (K) {
+  case timing::PredictorKind::Gshare:
+    return "gshare";
+  case timing::PredictorKind::McFarling:
+    return "mcfarling";
+  case timing::PredictorKind::StaticNotTaken:
+    return "static_not_taken";
+  }
+  return "?";
+}
+
+Value stats::machineToJson(const timing::MachineConfig &M) {
+  Value V = Value::object();
+  V.set("name", M.Name);
+  V.set("fetch_width", M.FetchWidth);
+  V.set("decode_width", M.DecodeWidth);
+  V.set("retire_width", M.RetireWidth);
+  V.set("int_window", M.IntWindow);
+  V.set("fp_window", M.FpWindow);
+  V.set("max_in_flight", M.MaxInFlight);
+  V.set("int_units", M.IntUnits);
+  V.set("fp_units", M.FpUnits);
+  V.set("load_store_ports", M.LoadStorePorts);
+  V.set("int_phys_regs", M.IntPhysRegs);
+  V.set("fp_phys_regs", M.FpPhysRegs);
+  V.set("icache", cacheToJson(M.ICache));
+  V.set("dcache", cacheToJson(M.DCache));
+  Value P = Value::object();
+  P.set("kind", predictorName(M.Predictor));
+  P.set("table_bits", M.PredictorTableBits);
+  P.set("history_bits", M.PredictorHistoryBits);
+  V.set("predictor", std::move(P));
+  V.set("mispredict_redirect", M.MispredictRedirect);
+  V.set("fetch_breaks_on_taken", M.FetchBreaksOnTaken);
+  V.set("fpa_enabled", M.FpaEnabled);
+  return V;
+}
+
+static Value argsToJson(const std::vector<int32_t> &Args) {
+  Value V = Value::array();
+  for (int32_t A : Args)
+    V.push(static_cast<int64_t>(A));
+  return V;
+}
+
+Value stats::pipelineConfigToJson(const core::PipelineConfig &C) {
+  Value V = Value::object();
+  V.set("scheme", partition::schemeName(C.Scheme));
+  Value Costs = Value::object();
+  Costs.set("copy_overhead", C.Costs.CopyOverhead);
+  Costs.set("dup_overhead", C.Costs.DupOverhead);
+  Costs.set("fpa_share_cap", C.Costs.FpaShareCap);
+  V.set("costs", std::move(Costs));
+  V.set("train_args", argsToJson(C.TrainArgs));
+  V.set("ref_args", argsToJson(C.RefArgs));
+  V.set("run_register_allocation", C.RunRegisterAllocation);
+  V.set("enable_fp_arg_passing", C.EnableFpArgPassing);
+  V.set("run_optimizations", C.RunOptimizations);
+  return V;
+}
+
+static Value histToJson(const std::vector<uint64_t> &H) {
+  Value V = Value::array();
+  for (uint64_t N : H)
+    V.push(N);
+  return V;
+}
+
+Value stats::breakdownToJson(const StallBreakdown &B) {
+  Value V = Value::object();
+  V.set("cycles", B.Cycles);
+  V.set("non_issuing_cycles", B.NonIssuingCycles);
+  Value Stalls = Value::object();
+  for (unsigned R = 1; R < NumStallReasons; ++R)
+    Stalls.set(stallReasonName(static_cast<StallReason>(R)),
+               B.StallCycles[R]);
+  V.set("stalls", std::move(Stalls));
+  V.set("int_issue_hist", histToJson(B.IntIssueHist));
+  V.set("fp_issue_hist", histToJson(B.FpIssueHist));
+  V.set("int_window_full_cycles", B.IntWindowFullCycles);
+  V.set("fp_window_full_cycles", B.FpWindowFullCycles);
+  double Cyc = B.Cycles ? static_cast<double>(B.Cycles) : 1.0;
+  V.set("int_window_occupancy_avg",
+        static_cast<double>(B.IntWindowOccupancySum) / Cyc);
+  V.set("fp_window_occupancy_avg",
+        static_cast<double>(B.FpWindowOccupancySum) / Cyc);
+  V.set("partition_holds", B.partitionHolds());
+  return V;
+}
+
+Value stats::simStatsToJson(const timing::SimStats &S) {
+  Value V = Value::object();
+  V.set("cycles", S.Cycles);
+  V.set("instructions", S.Instructions);
+  V.set("ipc", S.ipc());
+  V.set("int_issued", S.IntIssued);
+  V.set("fp_issued", S.FpIssued);
+  V.set("cond_branches", S.CondBranches);
+  V.set("mispredicts", S.Mispredicts);
+  V.set("branch_accuracy", S.branchAccuracy());
+  V.set("loads", S.Loads);
+  V.set("stores", S.Stores);
+  V.set("dcache_misses", S.DCacheMisses);
+  V.set("icache_misses", S.ICacheMisses);
+  V.set("store_forwards", S.StoreForwards);
+  V.set("fp_busy_cycles", S.FpBusyCycles);
+  V.set("int_idle_fp_busy_cycles", S.IntIdleFpBusyCycles);
+  V.set("int_idle_while_fp_busy", S.intIdleWhileFpBusy());
+  if (S.Telemetry)
+    V.set("telemetry", breakdownToJson(*S.Telemetry));
+  return V;
+}
+
+/// Platform-stable 64-bit FNV-1a (std::hash is not stable across
+/// implementations, and ids are committed in golden baselines).
+static uint64_t fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+std::string stats::runId(const std::string &Workload,
+                         const core::PipelineConfig &Pipeline,
+                         const timing::MachineConfig &Machine) {
+  uint64_t H = fnv1a64(core::RunCache::runKey(Workload, Pipeline) + "|" +
+                       Machine.canonicalKey());
+  char Tag[12];
+  std::snprintf(Tag, sizeof(Tag), "%08" PRIx64,
+                static_cast<uint64_t>((H & 0xffffffffULL) ^ (H >> 32)));
+  return Workload + "/" + partition::schemeName(Pipeline.Scheme) + "/" +
+         Machine.Name + "#" + Tag;
+}
+
+//===----------------------------------------------------------------------===//
+// Diffing.
+//===----------------------------------------------------------------------===//
+
+DiffResult stats::diffReports(const Value &Base, const Value &Current,
+                              const DiffOptions &Opts) {
+  DiffResult R;
+  auto checkSchema = [&](const Value &Doc, const char *Which) {
+    if (Doc.strOr("schema", "") != ReportSchema)
+      R.Problems.push_back(std::string(Which) +
+                           " report has wrong or missing schema tag");
+  };
+  checkSchema(Base, "baseline");
+  checkSchema(Current, "current");
+
+  const Value *CurRuns = Current.find("runs");
+  const Value *BaseRuns = Base.find("runs");
+  if (!BaseRuns || !BaseRuns->isArray() || !CurRuns || !CurRuns->isArray()) {
+    R.Problems.push_back("missing runs array");
+    return R;
+  }
+
+  auto findRun = [&](const std::string &Id) -> const Value * {
+    for (const Value &Run : CurRuns->items())
+      if (Run.strOr("id", "") == Id)
+        return &Run;
+    return nullptr;
+  };
+
+  for (const Value &BaseRun : BaseRuns->items()) {
+    const std::string Id = BaseRun.strOr("id", "");
+    const Value *CurRun = findRun(Id);
+    if (!CurRun) {
+      R.Problems.push_back("run missing from current tree: " + Id);
+      continue;
+    }
+    const Value *BS = BaseRun.find("stats");
+    const Value *CS = CurRun->find("stats");
+    if (!BS || !BS->isObject() || !CS || !CS->isObject()) {
+      R.Problems.push_back("run has no stats object: " + Id);
+      continue;
+    }
+
+    auto addDelta = [&](const char *Metric, double B, double C,
+                        bool Regressed) {
+      MetricDelta D;
+      D.RunId = Id;
+      D.Metric = Metric;
+      D.Base = B;
+      D.Current = C;
+      D.DeltaPct = B != 0 ? (C - B) / B * 100.0 : 0.0;
+      D.Regression = Regressed;
+      if (Regressed)
+        ++R.Regressions;
+      R.Deltas.push_back(std::move(D));
+    };
+
+    const double Tol = Opts.TolerancePct / 100.0;
+    double BCyc = BS->numberOr("cycles", 0);
+    double CCyc = CS->numberOr("cycles", 0);
+    addDelta("cycles", BCyc, CCyc, CCyc > BCyc * (1.0 + Tol));
+    double BIpc = BS->numberOr("ipc", 0);
+    double CIpc = CS->numberOr("ipc", 0);
+    addDelta("ipc", BIpc, CIpc, CIpc < BIpc * (1.0 - Tol));
+
+    double BIns = BS->numberOr("instructions", 0);
+    double CIns = CS->numberOr("instructions", 0);
+    if (BIns != CIns) {
+      addDelta("instructions", BIns, CIns, false);
+      R.Problems.push_back("dynamic instruction count changed for " + Id +
+                           " (compiler behaviour change)");
+    }
+  }
+  return R;
+}

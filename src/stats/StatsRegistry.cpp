@@ -1,0 +1,84 @@
+//===- stats/StatsRegistry.cpp - Process-wide run-record registry ---------===//
+
+#include "stats/StatsRegistry.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace fpint;
+using namespace fpint::stats;
+
+void StatsRegistry::record(const std::string &Workload,
+                           const core::PipelineConfig &Pipeline,
+                           const timing::MachineConfig &Machine,
+                           const timing::SimStats &Stats) {
+  RunRecord R;
+  R.Id = runId(Workload, Pipeline, Machine);
+  R.Workload = Workload;
+  R.Pipeline = Pipeline;
+  R.Machine = Machine;
+  R.Stats = Stats;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.emplace(R.Id, std::move(R)); // First record per id wins.
+}
+
+size_t StatsRegistry::numRecords() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Records.size();
+}
+
+json::Value StatsRegistry::reportJson(const std::string &BinaryName) const {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", ReportSchema);
+  Doc.set("binary", BinaryName);
+  json::Value Runs = json::Value::array();
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &KV : Records) {
+    const RunRecord &R = KV.second;
+    json::Value Run = json::Value::object();
+    Run.set("id", R.Id);
+    Run.set("workload", R.Workload);
+    Run.set("scheme", partition::schemeName(R.Pipeline.Scheme));
+    Run.set("machine", machineToJson(R.Machine));
+    Run.set("pipeline", pipelineConfigToJson(R.Pipeline));
+    Run.set("stats", simStatsToJson(R.Stats));
+    Runs.push(std::move(Run));
+  }
+  Doc.set("runs", std::move(Runs));
+  return Doc;
+}
+
+bool StatsRegistry::writeReport(const std::string &OutDir,
+                                const std::string &BinaryName,
+                                std::string *Err) const {
+  std::error_code EC;
+  std::filesystem::create_directories(OutDir, EC);
+  if (EC) {
+    if (Err)
+      *Err = "cannot create " + OutDir + ": " + EC.message();
+    return false;
+  }
+  const std::string Path = OutDir + "/" + BinaryName + ".json";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  const std::string Text = reportJson(BinaryName).dump() + "\n";
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok && Err)
+    *Err = "short write to " + Path;
+  return Ok;
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.clear();
+}
+
+StatsRegistry &StatsRegistry::global() {
+  static StatsRegistry Registry;
+  return Registry;
+}

@@ -1,0 +1,80 @@
+//===- stats/StatsRegistry.h - Process-wide run-record registry -----------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects one RunRecord per distinct simulated (workload, pipeline
+/// config, machine) point so a bench binary can emit its structured
+/// JSON report at exit. The bench harness records from thread-pool
+/// workers, so the registry is thread-safe; records are keyed and
+/// ordered by their stable run id, making the emitted report
+/// independent of worker scheduling (canonical bytes, like the
+/// text tables).
+///
+/// The registry is passive when telemetry is disabled: enabled()
+/// mirrors stats::telemetryEnabled() and the harness skips record()
+/// entirely, so seed behaviour is unchanged by default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_STATS_STATSREGISTRY_H
+#define FPINT_STATS_STATSREGISTRY_H
+
+#include "stats/Report.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fpint {
+namespace stats {
+
+/// One simulated evaluation point.
+struct RunRecord {
+  std::string Id;       ///< stats::runId() of the point.
+  std::string Workload; ///< Module / workload name.
+  core::PipelineConfig Pipeline;
+  timing::MachineConfig Machine;
+  timing::SimStats Stats;
+};
+
+class StatsRegistry {
+public:
+  /// Whether telemetry (and therefore JSON emission) is on for this
+  /// process. Mirrors stats::telemetryEnabled().
+  bool enabled() const { return telemetryEnabled(); }
+
+  /// Records one simulated point; duplicate ids (cache hits replayed
+  /// by several figures) keep the first record. Thread-safe.
+  void record(const std::string &Workload,
+              const core::PipelineConfig &Pipeline,
+              const timing::MachineConfig &Machine,
+              const timing::SimStats &Stats);
+
+  size_t numRecords() const;
+
+  /// The full report document for this process, runs ordered by id.
+  json::Value reportJson(const std::string &BinaryName) const;
+
+  /// Writes reportJson() to <OutDir>/<BinaryName>.json (creating
+  /// OutDir), returning false with \p Err set on I/O failure.
+  bool writeReport(const std::string &OutDir, const std::string &BinaryName,
+                   std::string *Err) const;
+
+  /// Drops all records (tests).
+  void clear();
+
+  /// The process-wide registry the bench harness records into.
+  static StatsRegistry &global();
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, RunRecord> Records; ///< Keyed by run id.
+};
+
+} // namespace stats
+} // namespace fpint
+
+#endif // FPINT_STATS_STATSREGISTRY_H

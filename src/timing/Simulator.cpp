@@ -5,6 +5,7 @@
 #include <cassert>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace fpint;
 using namespace fpint::timing;
@@ -145,23 +146,39 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
   std::vector<uint64_t> FpUnitFree(Config.FpUnits, 0);
 
   // Producers older than the ROB head have committed (retirement is in
-  // order), so their values are architectural.
-  auto OperandsReady = [&](const RobEntry &E, uint64_t OldestSeq) -> bool {
+  // order), so their values are architectural. Returns 0 when every
+  // operand is ready, else the first still-executing producer's
+  // sequence number (the telemetry layer attributes the wait to it).
+  auto BlockingProducer = [&](const RobEntry &E,
+                              uint64_t OldestSeq) -> uint64_t {
     for (unsigned U = 0; U < E.Info->NumUses; ++U) {
       uint64_t P = E.ProducerSeq[U];
       if (P == 0 || P < OldestSeq)
         continue;
       auto It = DoneAt.find(P);
       if (It == DoneAt.end() || It->second > Cycle)
-        return false;
+        return P;
     }
-    return true;
+    return 0;
   };
+
+  // Telemetry state (touched only when a sink is attached; without one
+  // the loop below pays a single Sink test per cycle). MissedLoads
+  // holds issued-but-unretired loads that missed the D-cache so
+  // operand waits on them can be attributed to the miss; ResumeKind
+  // remembers what last stalled fetch (mispredict redirect vs I-miss).
+  std::unordered_set<uint64_t> MissedLoads;
+  stats::StallReason ResumeKind = stats::StallReason::None;
 
   const uint64_t SafetyLimit =
       static_cast<uint64_t>(Trace.size() + 1000) * 400 + 100000;
 
   while (FetchIdx < Trace.size() || !Rob.empty() || !FetchQ.empty()) {
+    // Per-cycle stall attribution (sink-only): the oldest waiting
+    // instruction's issue blockage and the first dispatch blockage.
+    stats::StallReason IssueBlock = stats::StallReason::None;
+    stats::StallReason DispatchBlock = stats::StallReason::None;
+
     //===------------------------------------------------------------===//
     // Commit (in order, up to RetireWidth).
     //===------------------------------------------------------------===//
@@ -170,6 +187,8 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
       RobEntry &Head = Rob.front();
       if (!Head.Issued || Head.DoneCycle > Cycle)
         break;
+      if (Sink && Head.Info->IsLoad)
+        MissedLoads.erase(Head.Seq);
       if (Head.Info->IsStore)
         // Stores write the cache at retirement (write buffer absorbs
         // the latency; misses were charged at execute via allocation).
@@ -201,8 +220,13 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
       unsigned &IssuedNow = Fp ? FpIssuedNow : IntIssuedNow;
       if (IssuedNow >= Units.size())
         continue;
-      if (!OperandsReady(E, OldestSeq))
+      if (uint64_t P = BlockingProducer(E, OldestSeq)) {
+        if (Sink && IssueBlock == stats::StallReason::None)
+          IssueBlock = MissedLoads.count(P)
+                           ? stats::StallReason::DCacheMissWait
+                           : stats::StallReason::OperandWait;
         continue;
+      }
 
       // Memory constraints (INT subsystem only).
       unsigned ExtraLatency = 0;
@@ -226,8 +250,11 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
             if (Older.TE->MemAddr / 4 == E.TE->MemAddr / 4)
               Forwarded = true; // Youngest older match wins.
           }
-          if (Blocked)
+          if (Blocked) {
+            if (Sink && IssueBlock == stats::StallReason::None)
+              IssueBlock = stats::StallReason::LoadBlockedStoreAddr;
             continue;
+          }
           if (Forwarded) {
             ++Stats.StoreForwards;
           } else {
@@ -246,14 +273,19 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
           Unit = U;
           break;
         }
-      if (Unit == ~0u)
+      if (Unit == ~0u) {
+        if (Sink && IssueBlock == stats::StallReason::None)
+          IssueBlock = stats::StallReason::UnitBusy;
         continue;
+      }
 
       // Issue.
       E.Issued = true;
       E.DoneCycle = Cycle + Info.Latency + ExtraLatency;
       Units[Unit] = Info.Unpipelined ? E.DoneCycle : Cycle + 1;
       ++IssuedNow;
+      if (Sink && Info.IsLoad && ExtraLatency)
+        MissedLoads.insert(E.Seq);
       if (Info.IsLoad || Info.IsStore)
         ++PortsUsed;
       if (Info.HasDef)
@@ -261,6 +293,8 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
       if (E.Mispredicted) {
         FetchResumeCycle =
             std::max(FetchResumeCycle, E.DoneCycle + Config.MispredictRedirect);
+        if (Sink)
+          ResumeKind = stats::StallReason::FetchMispredict;
         if (PendingBranchSeq == E.Seq)
           PendingBranchSeq = 0;
       }
@@ -282,16 +316,26 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
       if (E.FetchCycle >= Cycle)
         break; // Fetched this cycle; decodes next.
       const InstrInfo &Info = *E.Info;
-      if (Rob.size() >= Config.MaxInFlight)
+      if (Rob.size() >= Config.MaxInFlight) {
+        if (Sink)
+          DispatchBlock = stats::StallReason::RobFull;
         break;
+      }
       unsigned &Window = Info.FpSubsystem ? FpWindowUsed : IntWindowUsed;
       unsigned Capacity = Info.FpSubsystem ? Config.FpWindow : Config.IntWindow;
-      if (Window >= Capacity)
+      if (Window >= Capacity) {
+        if (Sink)
+          DispatchBlock = Info.FpSubsystem ? stats::StallReason::WindowFullFpa
+                                           : stats::StallReason::WindowFullInt;
         break;
+      }
       if (Info.HasDef) {
         unsigned &Free = Info.Def.File ? FpPhysFree : IntPhysFree;
-        if (Free == 0)
+        if (Free == 0) {
+          if (Sink)
+            DispatchBlock = stats::StallReason::PhysRegsFull;
           break;
+        }
         --Free;
       }
 
@@ -331,6 +375,8 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
         if (ILat > Config.ICache.HitLatency) {
           ++Stats.ICacheMisses;
           FetchResumeCycle = Cycle + (ILat - Config.ICache.HitLatency);
+          if (Sink)
+            ResumeKind = stats::StallReason::FetchICacheMiss;
         }
 
         RobEntry E;
@@ -363,6 +409,43 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
         if (StopFetch)
           break;
       }
+    }
+
+    //===------------------------------------------------------------===//
+    // Telemetry: classify the cycle and emit the event (sink-only).
+    //===------------------------------------------------------------===//
+    if (Sink) {
+      using stats::StallReason;
+      stats::CycleEvent Ev;
+      Ev.IntIssued = IntIssuedNow;
+      Ev.FpIssued = FpIssuedNow;
+      Ev.IntWindowUsed = IntWindowUsed;
+      Ev.FpWindowUsed = FpWindowUsed;
+      Ev.IntWindowFull = IntWindowUsed >= Config.IntWindow;
+      Ev.FpWindowFull = FpWindowUsed >= Config.FpWindow;
+      if (IntIssuedNow + FpIssuedNow == 0) {
+        // Attribution priority (documented in stats/Events.h): window
+        // backpressure, then the oldest waiting instruction's blockage,
+        // then ROB/register backpressure, then the retire/completion
+        // drain, then front-end emptiness.
+        StallReason R = StallReason::FrontendLatency;
+        if (DispatchBlock == StallReason::WindowFullInt ||
+            DispatchBlock == StallReason::WindowFullFpa)
+          R = DispatchBlock;
+        else if (IssueBlock != StallReason::None)
+          R = IssueBlock;
+        else if (DispatchBlock != StallReason::None)
+          R = DispatchBlock;
+        else if (!Rob.empty())
+          R = StallReason::RetireStall;
+        else if (PendingBranchSeq != 0)
+          R = StallReason::FetchMispredict;
+        else if (Cycle < FetchResumeCycle)
+          R = ResumeKind != StallReason::None ? ResumeKind
+                                              : StallReason::FetchMispredict;
+        Ev.Reason = R;
+      }
+      Sink->onCycle(Ev);
     }
 
     ++Cycle;

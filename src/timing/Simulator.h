@@ -33,6 +33,7 @@
 
 #include "regalloc/RegAlloc.h"
 #include "sir/IR.h"
+#include "stats/Events.h"
 #include "timing/BranchPredictor.h"
 #include "timing/Cache.h"
 #include "timing/MachineConfig.h"
@@ -80,6 +81,12 @@ struct SimStats {
                               static_cast<double>(FpBusyCycles)
                         : 0.0;
   }
+
+  /// Cycle-level telemetry collected by the run's event sink, or null
+  /// when telemetry was disabled (the default). Carrying the breakdown
+  /// here lets the memoizing run caches serve it alongside the
+  /// aggregate counters.
+  std::shared_ptr<const stats::StallBreakdown> Telemetry;
 };
 
 /// Simulates traces against one machine configuration.
@@ -91,6 +98,13 @@ public:
   /// Runs \p Trace to completion and returns the statistics.
   SimStats run(const std::vector<vm::TraceEntry> &Trace);
 
+  /// Attaches \p S to receive one CycleEvent per simulated cycle
+  /// (stall attribution + issue occupancy). Null detaches. With no
+  /// sink attached the main loop pays a single pointer test per cycle
+  /// and produces bit-identical SimStats to the uninstrumented
+  /// simulator. The sink must outlive run().
+  void setEventSink(stats::EventSink *S) { Sink = S; }
+
   const MachineConfig &config() const { return Config; }
 
 private:
@@ -98,6 +112,7 @@ private:
   MachineConfig Config;
   const regalloc::ModuleAlloc &Alloc;
   std::unique_ptr<Impl> State;
+  stats::EventSink *Sink = nullptr;
 };
 
 /// Convenience: VM-trace + simulate in one call. The module must be
