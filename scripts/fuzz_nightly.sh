@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Nightly-depth differential fuzz run. Derives a fresh base seed (from
+# $FPINT_FUZZ_SEED, or the time when unset), logs it so a red run can be
+# replayed with FPINT_FUZZ_SEED=<seed> locally, and leaves any reduced
+# repros in tests/corpus/regressions/ for the CI artifact upload.
+set -euo pipefail
+
+FUZZ_BIN=${FUZZ_BIN:-./build/tools/fpint-fuzz}
+ITERS=${ITERS:-2000}
+SEED=${FPINT_FUZZ_SEED:-$(date +%s)}
+
+echo "nightly fuzz: seed=$SEED iters=$ITERS"
+echo "replay with: FPINT_FUZZ_SEED=$SEED $FUZZ_BIN --iters $ITERS"
+FPINT_FUZZ_SEED=$SEED "$FUZZ_BIN" --iters "$ITERS" --keep-going --quiet

@@ -53,6 +53,11 @@ std::string sir::toString(const Instruction &I) {
     Mn += ",a";
 
   auto R = [&](Reg Rg) { return regName(F, Rg); };
+  // Tolerate a missing target: the verifier prints malformed branches in
+  // its diagnostics, and that must not crash.
+  auto T = [&]() {
+    return I.target() ? I.target()->name() : std::string("<no-target>");
+  };
 
   std::string S = Mn + " ";
   switch (Op) {
@@ -97,17 +102,17 @@ std::string sir::toString(const Instruction &I) {
     break;
   case Opcode::Beq:
   case Opcode::Bne:
-    S += R(I.uses()[0]) + ", " + R(I.uses()[1]) + ", " + I.target()->name();
+    S += R(I.uses()[0]) + ", " + R(I.uses()[1]) + ", " + T();
     break;
   case Opcode::Blez:
   case Opcode::Bgtz:
   case Opcode::Bltz:
   case Opcode::FBnez:
   case Opcode::FBeqz:
-    S += R(I.uses()[0]) + ", " + I.target()->name();
+    S += R(I.uses()[0]) + ", " + T();
     break;
   case Opcode::Jump:
-    S += I.target()->name();
+    S += T();
     break;
   case Opcode::Call: {
     if (I.def().isValid())

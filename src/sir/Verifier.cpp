@@ -4,6 +4,8 @@
 
 #include "sir/Printer.h"
 
+#include <unordered_map>
+
 using namespace fpint;
 using namespace fpint::sir;
 
@@ -11,11 +13,14 @@ namespace {
 
 class VerifierImpl {
 public:
-  explicit VerifierImpl(const Module &M) : M(M) {}
+  VerifierImpl(const Module &M, const VerifyOptions &Opts) : M(M), Opts(Opts) {}
 
   std::vector<std::string> run() {
-    for (const auto &F : M.functions())
+    for (const auto &F : M.functions()) {
       checkFunction(*F);
+      if (Opts.CheckDataflow)
+        checkDataflow(*F);
+    }
     return std::move(Errors);
   }
 
@@ -46,10 +51,83 @@ private:
 
   void checkFunction(const Function &F);
   void checkInstruction(const Function &F, const Instruction &I);
+  void checkDataflow(const Function &F);
 
   const Module &M;
+  VerifyOptions Opts;
   std::vector<std::string> Errors;
 };
+
+/// Must-definition forward dataflow: a register is "defined" at a point
+/// iff every path from the function entry to that point contains a def
+/// of it. A use of an undefined register is reported. Unreachable
+/// blocks keep the optimistic "everything defined" state and are never
+/// flagged.
+void VerifierImpl::checkDataflow(const Function &F) {
+  // Register-allocated code defines registers through the calling
+  // convention and prologue conventions this analysis cannot see.
+  if (F.isAllocated() || F.blocks().empty())
+    return;
+
+  const size_t NumBlocks = F.blocks().size();
+  const unsigned NumRegs = F.numRegs();
+  std::unordered_map<const BasicBlock *, size_t> Index;
+  for (size_t B = 0; B < NumBlocks; ++B)
+    Index[F.blocks()[B].get()] = B;
+
+  // In-state per block; top is "all defined" so that merges only ever
+  // remove facts (intersection semilattice).
+  std::vector<std::vector<bool>> In(NumBlocks,
+                                    std::vector<bool>(NumRegs, true));
+  std::vector<bool> Entry(NumRegs, false);
+  for (Reg Formal : F.formals())
+    if (Formal.isValid() && Formal.id() < NumRegs)
+      Entry[Formal.id()] = true;
+  In[0] = Entry;
+
+  auto transfer = [&](size_t B, std::vector<bool> State) {
+    for (const auto &I : F.blocks()[B]->instructions())
+      if (I->def().isValid() && I->def().id() < NumRegs)
+        State[I->def().id()] = true;
+    return State;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = 0; B < NumBlocks; ++B) {
+      std::vector<bool> Out = transfer(B, In[B]);
+      std::vector<BasicBlock *> Succs;
+      F.blocks()[B]->successors(Succs);
+      for (BasicBlock *Succ : Succs) {
+        auto It = Index.find(Succ);
+        if (It == Index.end())
+          continue; // Foreign target; reported structurally already.
+        std::vector<bool> &SuccIn = In[It->second];
+        for (unsigned R = 0; R < NumRegs; ++R)
+          if (SuccIn[R] && !Out[R]) {
+            SuccIn[R] = false;
+            Changed = true;
+          }
+      }
+    }
+  }
+
+  // Report: linear scan per block against the converged in-state.
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    std::vector<bool> State = In[B];
+    for (const auto &I : F.blocks()[B]->instructions()) {
+      I->forEachUse([&](Reg U, UseKind) {
+        if (U.isValid() && U.id() < NumRegs && !State[U.id()])
+          error(F, I.get(),
+                "use of register %r" + std::to_string(U.id()) +
+                    " without a definition on every path");
+      });
+      if (I->def().isValid() && I->def().id() < NumRegs)
+        State[I->def().id()] = true;
+    }
+  }
+}
 
 void VerifierImpl::checkFunction(const Function &F) {
   if (F.blocks().empty()) {
@@ -186,5 +264,10 @@ void VerifierImpl::checkInstruction(const Function &F, const Instruction &I) {
 } // namespace
 
 std::vector<std::string> sir::verify(const Module &M) {
-  return VerifierImpl(M).run();
+  return VerifierImpl(M, VerifyOptions()).run();
+}
+
+std::vector<std::string> sir::verify(const Module &M,
+                                     const VerifyOptions &Opts) {
+  return VerifierImpl(M, Opts).run();
 }

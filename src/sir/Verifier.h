@@ -25,9 +25,24 @@
 namespace fpint {
 namespace sir {
 
+/// Optional strictness knobs for verify().
+struct VerifyOptions {
+  /// Also run a must-definition dataflow analysis and reject any use of
+  /// a register that lacks a definition on some path from function
+  /// entry (use-before-def). Off by default: hand-written programs use
+  /// the "%zero always reads 0" convention and register-allocated code
+  /// relies on calling-convention defs, both of which this check would
+  /// flag. The test generator's output must pass it, and the fuzz
+  /// harness runs it on every generated module.
+  bool CheckDataflow = false;
+};
+
 /// Returns a list of human-readable diagnostics; empty means the module
 /// is well formed.
 std::vector<std::string> verify(const Module &M);
+
+/// As above with explicit strictness options.
+std::vector<std::string> verify(const Module &M, const VerifyOptions &Opts);
 
 } // namespace sir
 } // namespace fpint

@@ -1,0 +1,238 @@
+//===- testgen/Oracle.cpp - Differential partition-equivalence oracle -----===//
+
+#include "testgen/Oracle.h"
+
+#include "partition/Partitioner.h"
+#include "sir/Opcode.h"
+#include "sir/Printer.h"
+#include "sir/Verifier.h"
+#include "timing/Simulator.h"
+#include "vm/VM.h"
+
+#include <sstream>
+
+using namespace fpint;
+using namespace fpint::testgen;
+
+std::vector<VariantSpec> testgen::defaultVariants() {
+  std::vector<VariantSpec> Variants;
+  auto Add = [&](const char *Name, partition::Scheme S, bool FpArgs,
+                 bool Optimize) {
+    VariantSpec V;
+    V.Name = Name;
+    V.Config.Scheme = S;
+    V.Config.EnableFpArgPassing = FpArgs;
+    V.Config.RunOptimizations = Optimize;
+    V.Config.RunRegisterAllocation = true;
+    Variants.push_back(std::move(V));
+  };
+  Add("none", partition::Scheme::None, false, true);
+  Add("basic", partition::Scheme::Basic, false, true);
+  Add("advanced", partition::Scheme::Advanced, false, true);
+  Add("advanced+fpargs", partition::Scheme::Advanced, true, true);
+  Add("basic-noopt", partition::Scheme::Basic, false, false);
+  Add("advanced-noopt", partition::Scheme::Advanced, false, false);
+  return Variants;
+}
+
+namespace {
+
+/// Everything observable about one functional execution.
+struct RunImage {
+  vm::VM::Result Result;
+  std::vector<uint8_t> Globals;
+};
+
+RunImage runFunctional(const sir::Module &M, const std::vector<int32_t> &Args,
+                       uint64_t MaxSteps, bool WithTrace,
+                       std::vector<vm::TraceEntry> *TraceOut) {
+  vm::VM::Options Opts;
+  Opts.MaxSteps = MaxSteps;
+  Opts.CollectTrace = WithTrace;
+  vm::VM Machine(M, Opts);
+  RunImage Image;
+  Image.Result = Machine.run(Args);
+  Image.Globals = Machine.globalImage();
+  if (WithTrace && TraceOut)
+    *TraceOut = Machine.takeTrace();
+  return Image;
+}
+
+class OracleRun {
+public:
+  OracleRun(const sir::Module &M, const OracleOptions &Opts)
+      : M(M), Opts(Opts) {}
+
+  OracleReport run() {
+    Baseline = runFunctional(M, Opts.Args, Opts.BaselineMaxSteps,
+                             /*WithTrace=*/false, nullptr);
+    if (!Baseline.Result.Ok) {
+      Report.BaselineSkipped = true;
+      Report.BaselineError = Baseline.Result.Error;
+      return std::move(Report);
+    }
+    Report.BaselineDynInstrs = Baseline.Result.Steps;
+    for (const VariantSpec &V : Opts.Variants)
+      checkVariant(V);
+    return std::move(Report);
+  }
+
+private:
+  void mismatch(const std::string &Variant, const std::string &Msg) {
+    Report.Mismatches.push_back("[" + Variant + "] " + Msg);
+  }
+
+  void checkVariant(const VariantSpec &V) {
+    core::PipelineConfig Config = V.Config;
+    Config.TrainArgs = Opts.Args;
+    Config.RefArgs = Opts.Args;
+
+    core::PipelineRun Run = core::compileAndMeasure(M, Config);
+    // compileAndMeasure verifies and self-checks its output comparison;
+    // any error it reports is a divergence (or a compile failure, which
+    // for a verifier-clean input is just as much a bug).
+    for (const std::string &E : Run.Errors)
+      mismatch(V.Name, "pipeline: " + E);
+    if (!Run.Errors.empty() || !Run.Compiled)
+      return;
+
+    if (Opts.CompiledMutator) {
+      Opts.CompiledMutator(*Run.Compiled);
+      Run.Compiled->renumber();
+      std::vector<std::string> MutVerify = sir::verify(*Run.Compiled);
+      for (const std::string &E : MutVerify)
+        mismatch(V.Name, "verify after mutation: " + E);
+      if (!MutVerify.empty())
+        return; // Caught structurally; the VM may not survive it.
+    }
+
+    // Re-execute the compiled module ourselves: the oracle compares
+    // more state than the pipeline does (exit value, memory image) and
+    // must observe any mutator-injected bug.
+    std::vector<vm::TraceEntry> Trace;
+    const uint64_t CompiledBudget = Opts.BaselineMaxSteps * 4 + 10000;
+    RunImage Compiled = runFunctional(*Run.Compiled, Opts.Args, CompiledBudget,
+                                      /*WithTrace=*/true, &Trace);
+    if (!Compiled.Result.Ok) {
+      mismatch(V.Name, "compiled run failed: " + Compiled.Result.Error);
+      return;
+    }
+
+    compareFunctional(V.Name, Compiled);
+    crossCheckStats(V.Name, Run, Trace);
+    if (Opts.CheckTiming && Config.RunRegisterAllocation &&
+        Run.Alloc.Errors.empty())
+      crossCheckTiming(V.Name, Run, Trace);
+  }
+
+  void compareFunctional(const std::string &Name, const RunImage &Compiled) {
+    // Output stream.
+    const auto &Want = Baseline.Result.Output;
+    const auto &Got = Compiled.Result.Output;
+    if (Want.size() != Got.size()) {
+      mismatch(Name, "output length differs: original " +
+                         std::to_string(Want.size()) + ", compiled " +
+                         std::to_string(Got.size()));
+    } else {
+      for (size_t I = 0; I < Want.size(); ++I)
+        if (Want[I] != Got[I]) {
+          mismatch(Name, "output[" + std::to_string(I) + "] differs: original " +
+                             std::to_string(Want[I]) + ", compiled " +
+                             std::to_string(Got[I]));
+          break;
+        }
+    }
+
+    // Architectural exit state.
+    if (Baseline.Result.ExitValue != Compiled.Result.ExitValue)
+      mismatch(Name, "exit value differs: original " +
+                         std::to_string(Baseline.Result.ExitValue) +
+                         ", compiled " +
+                         std::to_string(Compiled.Result.ExitValue));
+
+    // Memory image of the globals region.
+    if (Baseline.Globals.size() != Compiled.Globals.size()) {
+      mismatch(Name, "globals image size differs");
+    } else {
+      for (size_t A = 0; A < Baseline.Globals.size(); ++A)
+        if (Baseline.Globals[A] != Compiled.Globals[A]) {
+          std::ostringstream OS;
+          OS << "memory image differs at globals+0x" << std::hex << A
+             << ": original 0x" << static_cast<unsigned>(Baseline.Globals[A])
+             << ", compiled 0x" << static_cast<unsigned>(Compiled.Globals[A]);
+          mismatch(Name, OS.str());
+          break;
+        }
+    }
+  }
+
+  /// The stats subsystem counts dynamic instructions from the block
+  /// profile; the trace lists them one by one. Both views must agree.
+  void crossCheckStats(const std::string &Name, const core::PipelineRun &Run,
+                       const std::vector<vm::TraceEntry> &Trace) {
+    uint64_t Fpa = 0, NativeFp = 0, Loads = 0, Stores = 0;
+    for (const vm::TraceEntry &TE : Trace) {
+      if (TE.I->inFpa())
+        ++Fpa;
+      if (sir::isFpOpcode(TE.I->op()))
+        ++NativeFp;
+      if (TE.I->isLoad())
+        ++Loads;
+      if (TE.I->isStore())
+        ++Stores;
+    }
+    auto Check = [&](const char *What, uint64_t StatsVal, uint64_t TraceVal) {
+      if (StatsVal != TraceVal)
+        mismatch(Name, std::string("stats/trace disagree on ") + What +
+                           ": stats " + std::to_string(StatsVal) + ", trace " +
+                           std::to_string(TraceVal));
+    };
+    const partition::DynStats &S = Run.Stats;
+    Check("total dynamic instructions", S.Total, Trace.size());
+    Check("FPa instructions", S.Fpa, Fpa);
+    Check("native FP instructions", S.NativeFp, NativeFp);
+    Check("loads", S.Loads, Loads);
+    Check("stores", S.Stores, Stores);
+  }
+
+  /// The timing simulator must retire exactly the traced instructions,
+  /// and its INT/FP issue split must match the partition bits.
+  void crossCheckTiming(const std::string &Name, const core::PipelineRun &Run,
+                        const std::vector<vm::TraceEntry> &Trace) {
+    timing::Simulator Sim(Opts.Machine, Run.Alloc);
+    timing::SimStats Stats = Sim.run(Trace);
+
+    uint64_t FpSide = 0;
+    for (const vm::TraceEntry &TE : Trace)
+      if (TE.I->inFpa() || sir::isFpOpcode(TE.I->op()))
+        ++FpSide;
+
+    if (Stats.Instructions != Trace.size())
+      mismatch(Name, "simulator retired " + std::to_string(Stats.Instructions) +
+                         " instructions, trace has " +
+                         std::to_string(Trace.size()));
+    if (Stats.IntIssued + Stats.FpIssued != Stats.Instructions)
+      mismatch(Name, "issue counters (" + std::to_string(Stats.IntIssued) +
+                         " INT + " + std::to_string(Stats.FpIssued) +
+                         " FP) do not sum to retired instructions " +
+                         std::to_string(Stats.Instructions));
+    if (Stats.FpIssued != FpSide)
+      mismatch(Name, "simulator issued " + std::to_string(Stats.FpIssued) +
+                         " in the FP subsystem, partition bits say " +
+                         std::to_string(FpSide));
+    if (!Trace.empty() && Stats.Cycles == 0)
+      mismatch(Name, "simulator reported zero cycles for a nonempty trace");
+  }
+
+  const sir::Module &M;
+  const OracleOptions &Opts;
+  RunImage Baseline;
+  OracleReport Report;
+};
+
+} // namespace
+
+OracleReport testgen::runOracle(const sir::Module &M,
+                                const OracleOptions &Opts) {
+  return OracleRun(M, Opts).run();
+}

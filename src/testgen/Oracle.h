@@ -1,0 +1,86 @@
+//===- testgen/Oracle.h - Differential partition-equivalence oracle -------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-checkable form of the paper's core claim: partitioning is
+/// semantics-preserving. Given a module, the oracle runs the original
+/// through the functional VM and then pushes the module through every
+/// configured pipeline variant (conventional, basic, advanced, advanced
+/// with FP argument passing, ...), comparing for each variant:
+///
+///  * the output stream (every `out` value, in order);
+///  * main's exit value;
+///  * the final memory image of the globals region;
+///  * dynamic accounting: partition::computeDynStats totals must agree
+///    with the instruction-level trace (total, FPa share, native FP,
+///    loads, stores);
+///  * timing cross-check: timing::Simulator must retire exactly the
+///    traced instruction count, and its per-subsystem issue counters
+///    must match the partition bits in the trace.
+///
+/// A hook (CompiledMutator) lets tests and the acceptance gate inject a
+/// deliberate miscompile into the compiled module and confirm the
+/// oracle catches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_TESTGEN_ORACLE_H
+#define FPINT_TESTGEN_ORACLE_H
+
+#include "core/Pipeline.h"
+#include "sir/IR.h"
+#include "timing/MachineConfig.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fpint {
+namespace testgen {
+
+/// One named pipeline configuration to check against the original.
+struct VariantSpec {
+  std::string Name;
+  core::PipelineConfig Config;
+};
+
+/// The standard variant battery: conventional, basic, advanced,
+/// advanced+fpargs, and basic/advanced without the pre-partitioning
+/// optimizer.
+std::vector<VariantSpec> defaultVariants();
+
+struct OracleOptions {
+  std::vector<VariantSpec> Variants = defaultVariants();
+  std::vector<int32_t> Args;      ///< main() arguments (train == ref).
+  uint64_t BaselineMaxSteps = 20000000; ///< Step budget for the original.
+  bool CheckTiming = true;        ///< Run the simulator cross-checks.
+  timing::MachineConfig Machine;  ///< Machine for the timing cross-check.
+  /// Test hook: applied to each variant's compiled module before the
+  /// equivalence checks, simulating a compiler bug. Must not add or
+  /// remove virtual registers (the regalloc map is reused).
+  std::function<void(sir::Module &)> CompiledMutator;
+};
+
+struct OracleReport {
+  /// True when the baseline run itself did not complete (step budget,
+  /// etc.). Not a correctness verdict; fuzzers should skip the module.
+  bool BaselineSkipped = false;
+  std::string BaselineError;
+  /// One message per detected divergence, prefixed "[variant] ".
+  std::vector<std::string> Mismatches;
+  uint64_t BaselineDynInstrs = 0;
+
+  bool ok() const { return !BaselineSkipped && Mismatches.empty(); }
+};
+
+/// Runs the full differential check of \p M under \p Opts.
+OracleReport runOracle(const sir::Module &M,
+                       const OracleOptions &Opts = OracleOptions());
+
+} // namespace testgen
+} // namespace fpint
+
+#endif // FPINT_TESTGEN_ORACLE_H

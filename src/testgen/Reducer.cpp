@@ -1,0 +1,133 @@
+//===- testgen/Reducer.cpp - Delta-debugging testcase reducer -------------===//
+
+#include "testgen/Reducer.h"
+
+#include "sir/Parser.h"
+#include "sir/Printer.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace fpint;
+using namespace fpint::testgen;
+
+unsigned testgen::countInstructions(const sir::Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    F->forEachInstr([&](const sir::Instruction &) { ++N; });
+  return N;
+}
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Src) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= Src.size()) {
+    size_t End = Src.find('\n', Start);
+    if (End == std::string::npos) {
+      if (Start < Src.size())
+        Lines.push_back(Src.substr(Start));
+      break;
+    }
+    Lines.push_back(Src.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+class ReducerRun {
+public:
+  ReducerRun(const InterestingPredicate &StillFails,
+             const ReducerOptions &Opts)
+      : StillFails(StillFails), Opts(Opts) {}
+
+  ReduceOutcome run(const std::string &Source) {
+    Lines = splitLines(Source);
+
+    bool AnyChange = false;
+    for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+      bool Changed = false;
+      // Coarse-to-fine chunk deletion: whole functions first shrink
+      // fastest, then halving down to single lines.
+      for (size_t Chunk = std::max<size_t>(1, Lines.size() / 2); Chunk >= 1;
+           Chunk = Chunk == 1 ? 0 : Chunk / 2) {
+        Changed |= sweep(Chunk);
+        if (Probes >= Opts.MaxProbes)
+          break;
+      }
+      AnyChange |= Changed;
+      if (!Changed || Probes >= Opts.MaxProbes)
+        break;
+    }
+
+    ReduceOutcome Out;
+    Out.Probes = Probes;
+    Out.Reduced = AnyChange;
+    Out.Text = joinLines(Lines);
+    // Canonicalize through the printer when that stays interesting
+    // (it renames registers and drops comments/blank lines).
+    sir::ParseResult PR = sir::parseModule(Out.Text);
+    if (PR.ok()) {
+      Out.InstrCount = countInstructions(*PR.M);
+      std::string Canon = sir::toString(*PR.M);
+      sir::ParseResult CanonPR = sir::parseModule(Canon);
+      if (CanonPR.ok() && StillFails(*CanonPR.M))
+        Out.Text = Canon;
+    }
+    return Out;
+  }
+
+private:
+  /// Tries deleting every aligned [I, I+Chunk) range once; keeps any
+  /// deletion that still reproduces. Returns whether anything stuck.
+  bool sweep(size_t Chunk) {
+    bool Changed = false;
+    size_t I = 0;
+    while (I < Lines.size() && Probes < Opts.MaxProbes) {
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size());
+      size_t End = std::min(Lines.size(), I + Chunk);
+      Candidate.insert(Candidate.end(), Lines.begin(), Lines.begin() + I);
+      Candidate.insert(Candidate.end(), Lines.begin() + End, Lines.end());
+      if (Candidate.size() < Lines.size() && probe(Candidate)) {
+        Lines = std::move(Candidate);
+        Changed = true;
+        // Do not advance: the same index now names fresh lines.
+      } else {
+        I += Chunk;
+      }
+    }
+    return Changed;
+  }
+
+  bool probe(const std::vector<std::string> &Candidate) {
+    ++Probes;
+    sir::ParseResult PR = sir::parseModule(joinLines(Candidate));
+    if (!PR.ok())
+      return false;
+    return StillFails(*PR.M);
+  }
+
+  const InterestingPredicate &StillFails;
+  const ReducerOptions &Opts;
+  std::vector<std::string> Lines;
+  unsigned Probes = 0;
+};
+
+} // namespace
+
+ReduceOutcome testgen::reduceModule(const std::string &Source,
+                                    const InterestingPredicate &StillFails,
+                                    const ReducerOptions &Opts) {
+  return ReducerRun(StillFails, Opts).run(Source);
+}

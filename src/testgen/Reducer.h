@@ -1,0 +1,60 @@
+//===- testgen/Reducer.h - Delta-debugging testcase reducer ---------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing sir program to a minimal reproduction by
+/// delta-debugging its textual form: repeatedly delete line ranges at
+/// decreasing granularity (ddmin-style) and keep any candidate that
+/// still parses and still satisfies the caller's "interesting"
+/// predicate (typically: the differential oracle still reports a
+/// mismatch). Candidates that fail to parse are simply rejected, which
+/// keeps the transformation language trivial -- structural damage is
+/// filtered rather than avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_TESTGEN_REDUCER_H
+#define FPINT_TESTGEN_REDUCER_H
+
+#include "sir/IR.h"
+
+#include <functional>
+#include <string>
+
+namespace fpint {
+namespace testgen {
+
+/// Returns true when a candidate module still reproduces the failure.
+/// The module passed in is parsed, renumbered, and structurally valid.
+using InterestingPredicate = std::function<bool(const sir::Module &)>;
+
+struct ReducerOptions {
+  unsigned MaxRounds = 12;   ///< Fixpoint rounds over all granularities.
+  unsigned MaxProbes = 8000; ///< Hard cap on predicate evaluations.
+};
+
+struct ReduceOutcome {
+  std::string Text;          ///< The reduced program (parseable).
+  unsigned InstrCount = 0;   ///< Static instructions in the result.
+  unsigned Probes = 0;       ///< Predicate evaluations spent.
+  bool Reduced = false;      ///< Whether anything was removed.
+};
+
+/// Shrinks \p Source, which must parse and satisfy \p StillFails, to a
+/// smaller program that still satisfies it. Returns the final text and
+/// its instruction count.
+ReduceOutcome reduceModule(const std::string &Source,
+                           const InterestingPredicate &StillFails,
+                           const ReducerOptions &Opts = ReducerOptions());
+
+/// Counts static instructions in \p M (label/global lines excluded) --
+/// the size metric reduction minimizes.
+unsigned countInstructions(const sir::Module &M);
+
+} // namespace testgen
+} // namespace fpint
+
+#endif // FPINT_TESTGEN_REDUCER_H

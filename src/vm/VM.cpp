@@ -4,6 +4,7 @@
 
 #include "sir/Printer.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace fpint;
@@ -57,6 +58,19 @@ uint32_t VM::pcOf(const Instruction &I) const {
 uint32_t VM::globalAddress(const std::string &Name) const {
   auto It = GlobalAddrs.find(Name);
   return It == GlobalAddrs.end() ? 0 : It->second;
+}
+
+std::vector<uint8_t> VM::globalImage() const {
+  uint32_t End = GlobalBase;
+  for (const sir::Global &G : M.globals()) {
+    auto It = GlobalAddrs.find(G.Name);
+    if (It != GlobalAddrs.end())
+      End = std::max(End, It->second + G.SizeWords * 4);
+  }
+  End = std::min(End, static_cast<uint32_t>(Mem.size()));
+  if (End <= GlobalBase)
+    return {};
+  return std::vector<uint8_t>(Mem.begin() + GlobalBase, Mem.begin() + End);
 }
 
 uint32_t VM::effectiveAddress(const Frame &Fr, const sir::MemOperand &Mem,

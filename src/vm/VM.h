@@ -96,6 +96,14 @@ public:
   /// Data address of global \p Name; 0 if unknown.
   uint32_t globalAddress(const std::string &Name) const;
 
+  /// Copies out the globals region of memory (empty if the module has
+  /// no globals). Globals are laid out purely by declaration order, so
+  /// a module and its partitioned/allocated clone agree on the layout:
+  /// equality of images after a run means the programs computed the
+  /// same memory state. Frame/spill areas are deliberately excluded --
+  /// they legitimately differ between compilations.
+  std::vector<uint8_t> globalImage() const;
+
 private:
   struct Frame {
     const sir::Function *F = nullptr;

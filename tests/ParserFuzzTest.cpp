@@ -7,6 +7,8 @@
 
 #include "PaperExamples.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 using namespace fpint;
@@ -14,12 +16,37 @@ using namespace fpint::sir;
 
 namespace {
 
+/// Base seed for the randomized cases; FPINT_FUZZ_SEED reruns the whole
+/// suite over a different stream (useful for widening coverage in
+/// nightly CI without editing the test).
+uint64_t baseSeed() {
+  if (const char *Env = std::getenv("FPINT_FUZZ_SEED"))
+    return std::strtoull(Env, nullptr, 0);
+  return 1;
+}
+
+/// Mixes the base seed with the gtest iteration parameter and records
+/// both on the failure trace, so a red run reports exactly which
+/// (seed, iteration) pair to replay.
+uint64_t caseSeed(int Iteration, uint64_t Salt) {
+  uint64_t Seed = baseSeed() * 0x9e3779b97f4a7c15ull +
+                  static_cast<uint64_t>(Iteration) * Salt;
+  return Seed;
+}
+
+#define FPINT_TRACE_SEED(Iteration, Seed)                                      \
+  SCOPED_TRACE(::testing::Message()                                            \
+               << "FPINT_FUZZ_SEED=" << baseSeed() << " iteration="            \
+               << (Iteration) << " case seed=" << (Seed))
+
 // The parser must never crash: any byte soup either parses into a
 // verifiable module or produces a diagnostic with a line number.
 class ParserFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParserFuzz, RandomBytesNeverCrash) {
-  Rng R(static_cast<uint64_t>(GetParam()) * 2654435761u);
+  uint64_t Seed = caseSeed(GetParam(), 2654435761u);
+  FPINT_TRACE_SEED(GetParam(), Seed);
+  Rng R(Seed);
   const char Alphabet[] =
       "abcdefghijklmnopqrstuvwxyz0123456789%,()+-:#{}[]. \n\tfunc global";
   std::string Soup;
@@ -42,7 +69,9 @@ INSTANTIATE_TEST_SUITE_P(Soup, ParserFuzz, ::testing::Range(0, 50));
 class MutationFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(MutationFuzz, MutatedProgramsFailCleanly) {
-  Rng R(static_cast<uint64_t>(GetParam()) * 40503u + 7);
+  uint64_t Seed = caseSeed(GetParam(), 40503u) + 7;
+  FPINT_TRACE_SEED(GetParam(), Seed);
+  Rng R(Seed);
   std::string Src = fixtures::InvalidateForCall;
 
   // Split into lines.

@@ -1,0 +1,238 @@
+//===- tools/fpint-fuzz.cpp - Differential fuzzing driver ------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fpint-fuzz: generates random sir modules and checks, for each, that
+/// every partitioning pipeline variant preserves the program's exact
+/// semantics (output stream, exit value, memory image) and that the
+/// timing simulator and stats subsystem agree on the dynamic
+/// instruction counts per partition. On a mismatch it shrinks the
+/// module with the delta-debugging reducer and writes a regression
+/// file for the corpus.
+///
+///   fpint-fuzz --iters 500 --seed 1
+///   fpint-fuzz --one 0x1234abcd --preset memory     # replay one module
+///   fpint-fuzz --iters 2000 --write-repro tests/corpus/regressions
+///
+/// The base seed defaults to $FPINT_FUZZ_SEED (then 1); every failure
+/// message prints the exact --one module seed that reproduces it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sir/Printer.h"
+#include "sir/Verifier.h"
+#include "testgen/Generator.h"
+#include "testgen/Oracle.h"
+#include "testgen/Reducer.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace fpint;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fpint-fuzz [options]\n"
+      "\n"
+      "  --iters N            modules to generate and check (default 100)\n"
+      "  --seed S             base seed (default: $FPINT_FUZZ_SEED, then 1)\n"
+      "  --one S              check exactly one module with module seed S\n"
+      "  --preset NAME        generator preset (default cycles through all);\n"
+      "                       one of: default branchy memory fp calls tiny\n"
+      "                       intonly\n"
+      "  --write-repro DIR    where reduced repros go (default\n"
+      "                       tests/corpus/regressions)\n"
+      "  --no-reduce          report mismatches without shrinking\n"
+      "  --no-timing          skip the simulator cross-checks (faster)\n"
+      "  --keep-going         check all iterations even after a failure\n"
+      "  --emit               print each generated module (debugging)\n"
+      "  --quiet              only print failures and the final summary\n");
+}
+
+uint64_t parseSeed(const char *S) {
+  return std::strtoull(S, nullptr, 0);
+}
+
+struct FuzzStats {
+  uint64_t Modules = 0;
+  uint64_t Skipped = 0;
+  uint64_t DynInstrs = 0;
+  uint64_t Failures = 0;
+};
+
+/// Builds the oracle predicate used both for detection and reduction.
+testgen::OracleOptions makeOracleOptions(bool CheckTiming) {
+  testgen::OracleOptions Opts;
+  Opts.CheckTiming = CheckTiming;
+  return Opts;
+}
+
+std::string sanitizeFileName(std::string S) {
+  for (char &C : S)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Iters = 100;
+  uint64_t BaseSeed = 1;
+  if (const char *Env = std::getenv("FPINT_FUZZ_SEED"))
+    BaseSeed = parseSeed(Env);
+  bool HaveOne = false;
+  uint64_t OneSeed = 0;
+  std::string Preset; // Empty: cycle through all presets.
+  std::string ReproDir = "tests/corpus/regressions";
+  bool Reduce = true, CheckTiming = true, KeepGoing = false, Emit = false,
+       Quiet = false;
+
+  for (int A = 1; A < argc; ++A) {
+    const char *Arg = argv[A];
+    auto Value = [&]() -> const char * {
+      if (A + 1 >= argc) {
+        std::fprintf(stderr, "fpint-fuzz: %s needs a value\n", Arg);
+        std::exit(2);
+      }
+      return argv[++A];
+    };
+    if (!std::strcmp(Arg, "--iters"))
+      Iters = parseSeed(Value());
+    else if (!std::strcmp(Arg, "--seed"))
+      BaseSeed = parseSeed(Value());
+    else if (!std::strcmp(Arg, "--one")) {
+      HaveOne = true;
+      OneSeed = parseSeed(Value());
+    } else if (!std::strcmp(Arg, "--preset"))
+      Preset = Value();
+    else if (!std::strcmp(Arg, "--write-repro"))
+      ReproDir = Value();
+    else if (!std::strcmp(Arg, "--no-reduce"))
+      Reduce = false;
+    else if (!std::strcmp(Arg, "--no-timing"))
+      CheckTiming = false;
+    else if (!std::strcmp(Arg, "--keep-going"))
+      KeepGoing = true;
+    else if (!std::strcmp(Arg, "--emit"))
+      Emit = true;
+    else if (!std::strcmp(Arg, "--quiet"))
+      Quiet = true;
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> &Presets = testgen::presetNames();
+  testgen::OracleOptions OracleOpts = makeOracleOptions(CheckTiming);
+  FuzzStats Stats;
+  int Exit = 0;
+
+  for (uint64_t It = 0; It < (HaveOne ? 1 : Iters); ++It) {
+    uint64_t ModSeed =
+        HaveOne ? OneSeed : testgen::moduleSeed(BaseSeed, It);
+    const std::string &PresetName =
+        !Preset.empty() ? Preset : Presets[It % Presets.size()];
+    testgen::GenConfig Config = testgen::presetConfig(PresetName);
+
+    std::unique_ptr<sir::Module> M = testgen::generateModule(Config, ModSeed);
+    std::string Text = sir::toString(*M);
+    if (Emit)
+      std::printf("# seed=0x%" PRIx64 " preset=%s\n%s\n", ModSeed,
+                  PresetName.c_str(), Text.c_str());
+
+    // Generated modules must satisfy the strict verifier (this is the
+    // generator's contract; a violation is a generator bug).
+    sir::VerifyOptions Strict;
+    Strict.CheckDataflow = true;
+    std::vector<std::string> Diags = sir::verify(*M, Strict);
+    if (!Diags.empty()) {
+      std::fprintf(stderr,
+                   "GENERATOR BUG seed=0x%" PRIx64 " iter=%" PRIu64
+                   " preset=%s: %s\n",
+                   ModSeed, It, PresetName.c_str(), Diags.front().c_str());
+      ++Stats.Failures;
+      Exit = 1;
+      if (!KeepGoing)
+        break;
+      continue;
+    }
+
+    testgen::OracleReport Report = testgen::runOracle(*M, OracleOpts);
+    ++Stats.Modules;
+    Stats.DynInstrs += Report.BaselineDynInstrs;
+
+    if (Report.BaselineSkipped) {
+      ++Stats.Skipped;
+      if (!Quiet)
+        std::fprintf(stderr,
+                     "skip seed=0x%" PRIx64 " iter=%" PRIu64 ": %s\n", ModSeed,
+                     It, Report.BaselineError.c_str());
+      continue;
+    }
+    if (Report.ok())
+      continue;
+
+    ++Stats.Failures;
+    Exit = 1;
+    std::fprintf(stderr,
+                 "MISMATCH seed=0x%" PRIx64 " iter=%" PRIu64 " preset=%s\n",
+                 ModSeed, It, PresetName.c_str());
+    for (const std::string &Msg : Report.Mismatches)
+      std::fprintf(stderr, "  %s\n", Msg.c_str());
+    std::fprintf(stderr,
+                 "  reproduce: fpint-fuzz --one 0x%" PRIx64 " --preset %s\n",
+                 ModSeed, PresetName.c_str());
+
+    if (Reduce) {
+      testgen::InterestingPredicate StillFails =
+          [&](const sir::Module &Candidate) {
+            testgen::OracleReport R = testgen::runOracle(Candidate, OracleOpts);
+            return !R.BaselineSkipped && !R.Mismatches.empty();
+          };
+      testgen::ReduceOutcome Reduced = testgen::reduceModule(Text, StillFails);
+      std::fprintf(stderr,
+                   "  reduced to %u instructions (%u probes)\n",
+                   Reduced.InstrCount, Reduced.Probes);
+
+      char Name[128];
+      std::snprintf(Name, sizeof(Name), "seed_0x%" PRIx64 "_%s.sir", ModSeed,
+                    sanitizeFileName(PresetName).c_str());
+      std::string Path = ReproDir + "/" + Name;
+      std::ofstream Out(Path);
+      if (Out) {
+        Out << "# fpint-fuzz regression (auto-reduced)\n"
+            << "# seed=0x" << std::hex << ModSeed << std::dec << " preset="
+            << PresetName << "\n";
+        for (const std::string &Msg : Report.Mismatches)
+          Out << "# " << Msg << "\n";
+        Out << Reduced.Text;
+        std::fprintf(stderr, "  repro written to %s\n", Path.c_str());
+      } else {
+        std::fprintf(stderr, "  could not write %s\n", Path.c_str());
+      }
+    }
+    if (!KeepGoing)
+      break;
+  }
+
+  std::printf("fpint-fuzz: %" PRIu64 " modules, %" PRIu64 " skipped, %" PRIu64
+              " dynamic instructions checked, %" PRIu64
+              " mismatches (base seed 0x%" PRIx64 ")\n",
+              Stats.Modules, Stats.Skipped, Stats.DynInstrs, Stats.Failures,
+              BaseSeed);
+  return Exit;
+}
