@@ -5,7 +5,9 @@
 #include "sir/Printer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 using namespace fpint;
 using namespace fpint::vm;
@@ -504,7 +506,16 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
       break;
     }
     case Opcode::FCvtFI: {
-      int32_t V = static_cast<int32_t>(FpUse(I, 0));
+      // trunc.w.s semantics: NaN, infinities, and values outside the
+      // int32 range produce INT32_MAX, as on MIPS. The plain cast is
+      // undefined behavior for those inputs (fuzzer-found; see
+      // tests/corpus/regressions/fcvt_overflow.sir).
+      float Raw = FpUse(I, 0);
+      int32_t V;
+      if (std::isnan(Raw) || Raw >= 2147483648.0f || Raw < -2147483648.0f)
+        V = std::numeric_limits<int32_t>::max();
+      else
+        V = static_cast<int32_t>(Raw);
       SetFpBits(I.def(), V);
       break;
     }
