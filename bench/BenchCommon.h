@@ -27,6 +27,19 @@
 /// CompileError); runMatrix reports the cell on stderr and keeps
 /// evaluating the remaining items instead of killing the binary.
 ///
+/// Containment contract (degrade-don't-die, see docs/ROBUSTNESS.md):
+/// with FPINT_SANDBOX=1 -- or automatically whenever FPINT_FAULT is
+/// armed -- every matrix cell runs in its own forked child under
+/// support::Subprocess limits. A cell that crashes, hangs, or runs out
+/// of memory is retried with backoff (FPINT_CELL_RETRIES, default 2
+/// retries) and finally degrades to a row of ERR cells; the table
+/// still renders, the per-binary footer lists every degraded cell, and
+/// the binary exits nonzero only under --strict / FPINT_STRICT=1
+/// (bench::harnessExit()). Sandboxed cells are dispatched serially
+/// from the orchestration thread (forking from pool workers is not
+/// fork-safe) and do not contribute telemetry records: the child's
+/// StatsRegistry dies with it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FPINT_BENCH_BENCHCOMMON_H
@@ -35,6 +48,8 @@
 #include "core/Pipeline.h"
 #include "core/RunCache.h"
 #include "stats/StatsRegistry.h"
+#include "support/FaultInject.h"
+#include "support/Subprocess.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
@@ -42,13 +57,67 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fpint {
 namespace bench {
+
+/// Process-wide degradation state shared by runMatrix (which registers
+/// degraded cells), ScopedBenchReport (which summarizes them at exit)
+/// and harnessExit() (which turns them into a nonzero exit only under
+/// --strict).
+struct HarnessState {
+  std::mutex Mu;
+  std::vector<std::string> DegradedCells;
+  bool Strict = false;
+
+  void addDegraded(std::string Cell) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    DegradedCells.push_back(std::move(Cell));
+  }
+  size_t numDegraded() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return DegradedCells.size();
+  }
+
+  static HarnessState &global() {
+    static HarnessState S;
+    return S;
+  }
+};
+
+/// Integer environment knob with a default.
+inline int envInt(const char *Name, int Def) {
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return Def;
+  return std::atoi(E);
+}
+
+/// Whether matrix cells run fork-isolated. FPINT_SANDBOX=1 forces on,
+/// FPINT_SANDBOX=0 forces off; otherwise the sandbox arms itself
+/// whenever fault injection is armed, so an injected crash can never
+/// take the harness down.
+inline bool sandboxEnabled() {
+  const char *E = std::getenv("FPINT_SANDBOX");
+  if (E && *E)
+    return E[0] != '0';
+  return support::fault::enabled();
+}
+
+/// The exit code a bench main() should return: 0 normally (even with
+/// degraded cells -- the table rendered), 1 when cells degraded and
+/// strict mode (--strict or FPINT_STRICT=1) was requested.
+inline int harnessExit() {
+  HarnessState &H = HarnessState::global();
+  return H.Strict && H.numDegraded() > 0 ? 1 : 0;
+}
 
 /// A pipeline produced unusable output for one matrix cell (the
 /// harness must never report numbers from a broken build).
@@ -97,7 +166,8 @@ inline timing::SimStats simulateRun(const RunPtr &Run,
   timing::SimStats S = core::RunCache::global().simulate(Run, Machine);
   stats::StatsRegistry &Reg = stats::StatsRegistry::global();
   if (Reg.enabled())
-    Reg.record(Run->Name, Run->Config, Machine, S);
+    Reg.record(Run->Name, Run->Config, Machine, S,
+               Run->RefResult.Trap.Kind);
   return S;
 }
 
@@ -105,15 +175,164 @@ inline timing::SimStats simulateRun(const RunPtr &Run,
 /// for a single item (usually one workload).
 using MatrixRows = std::vector<std::vector<std::string>>;
 
-/// Evaluates Row(Items[i]) for every item on the shared thread pool
-/// and appends the produced rows to \p T in item order, making the
-/// parallel table byte-identical to a serial evaluation. A row
-/// function that throws fails only its own cell: the error is
-/// reported on stderr (prefixed with \p What) and the table simply
-/// lacks that item's rows.
+namespace detail {
+
+/// Length-prefixed (u32 LE) framing of a cell's rows over the
+/// sandbox payload pipe: numRows, then per row numCells, then per
+/// cell length + bytes.
+inline void packU32(std::string &Out, uint32_t V) {
+  char B[4] = {static_cast<char>(V), static_cast<char>(V >> 8),
+               static_cast<char>(V >> 16), static_cast<char>(V >> 24)};
+  Out.append(B, 4);
+}
+
+inline bool unpackU32(const std::string &In, size_t &Pos, uint32_t &V) {
+  if (Pos + 4 > In.size())
+    return false;
+  V = static_cast<uint8_t>(In[Pos]) |
+      (static_cast<uint8_t>(In[Pos + 1]) << 8) |
+      (static_cast<uint8_t>(In[Pos + 2]) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(In[Pos + 3])) << 24);
+  Pos += 4;
+  return true;
+}
+
+inline std::string packRows(const MatrixRows &Rows) {
+  std::string Out;
+  packU32(Out, static_cast<uint32_t>(Rows.size()));
+  for (const std::vector<std::string> &R : Rows) {
+    packU32(Out, static_cast<uint32_t>(R.size()));
+    for (const std::string &C : R) {
+      packU32(Out, static_cast<uint32_t>(C.size()));
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+inline bool unpackRows(const std::string &In, MatrixRows &Rows) {
+  size_t Pos = 0;
+  uint32_t NumRows = 0;
+  if (!unpackU32(In, Pos, NumRows))
+    return false;
+  Rows.clear();
+  for (uint32_t R = 0; R < NumRows; ++R) {
+    uint32_t NumCells = 0;
+    if (!unpackU32(In, Pos, NumCells))
+      return false;
+    std::vector<std::string> Row;
+    for (uint32_t C = 0; C < NumCells; ++C) {
+      uint32_t Len = 0;
+      if (!unpackU32(In, Pos, Len) || Pos + Len > In.size())
+        return false;
+      Row.emplace_back(In, Pos, Len);
+      Pos += Len;
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Pos == In.size();
+}
+
+/// Display label for a degraded item: its .Name when it has one
+/// (workloads), otherwise "<What> #<Index>".
+template <typename Item>
+std::string itemLabel(const Item &I, const char *What, size_t Index) {
+  if constexpr (requires { std::string(I.Name); })
+    return std::string(I.Name);
+  else
+    return std::string(What) + " #" + std::to_string(Index);
+}
+
+/// Runs one matrix cell in a forked child under sandbox limits, with
+/// bounded retry-with-backoff. Returns true with the unpacked rows on
+/// success; false with \p Err describing the final failure.
+template <typename Item, typename RowFn>
+bool runCellSandboxed(const Item &I, RowFn &Row, MatrixRows &Rows,
+                      std::string &Err) {
+  support::SandboxLimits Limits;
+  Limits.WallMs = envInt("FPINT_CELL_TIMEOUT_MS", 120000);
+  Limits.KillGraceMs = envInt("FPINT_CELL_KILL_GRACE_MS", 500);
+  Limits.AddressSpaceMb =
+      static_cast<uint64_t>(envInt("FPINT_CELL_AS_MB", 4096));
+  const int Attempts = 1 + std::max(0, envInt("FPINT_CELL_RETRIES", 2));
+
+  for (int Attempt = 1; Attempt <= Attempts; ++Attempt) {
+    // Set pre-fork so the child inherits its attempt number; ":once"
+    // fault specs use it to model transient failures a retry clears.
+    support::fault::setAttempt(static_cast<unsigned>(Attempt));
+    support::TaskResult R = support::Subprocess::run(
+        [&](int PayloadFd) {
+          support::fault::inject("cell");
+          try {
+            MatrixRows CellRows = Row(I);
+            return support::Subprocess::writeAll(PayloadFd,
+                                                 packRows(CellRows))
+                       ? 0
+                       : 2;
+          } catch (const std::exception &E) {
+            std::fprintf(stderr, "%s\n", E.what());
+            return 3;
+          }
+        },
+        Limits);
+    support::fault::setAttempt(1);
+
+    if (R.ok() && unpackRows(R.Payload, Rows))
+      return true;
+
+    Err = R.ok() ? std::string("malformed cell payload") : R.describe();
+    if (!R.StderrTail.empty()) {
+      std::string Tail = R.StderrTail;
+      if (!Tail.empty() && Tail.back() == '\n')
+        Tail.pop_back();
+      size_t Line = Tail.rfind('\n');
+      Err += ": " + (Line == std::string::npos ? Tail
+                                               : Tail.substr(Line + 1));
+    }
+    if (Attempt < Attempts)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(50 * Attempt));
+  }
+  return false;
+}
+
+} // namespace detail
+
+/// Evaluates Row(Items[i]) for every item and appends the produced
+/// rows to \p T in item order, making the table byte-identical to a
+/// serial evaluation.
+///
+/// Default mode fans the items out on the shared thread pool; a row
+/// function that throws fails only its own cell (reported on stderr,
+/// rows absent). Sandbox mode (see sandboxEnabled()) instead forks one
+/// child per cell, serially: a cell that crashes, hangs, or exhausts
+/// its address space is retried with backoff and finally degrades to a
+/// single row of "ERR" cells padded to the header width, registered in
+/// HarnessState for the exit summary.
 template <typename Item, typename RowFn>
 void runMatrix(const std::vector<Item> &Items, Table &T, RowFn Row,
                const char *What = "matrix cell") {
+  if (sandboxEnabled()) {
+    for (size_t I = 0; I < Items.size(); ++I) {
+      MatrixRows Rows;
+      std::string Err;
+      if (detail::runCellSandboxed(Items[I], Row, Rows, Err)) {
+        for (std::vector<std::string> &R : Rows)
+          T.addRow(std::move(R));
+        continue;
+      }
+      std::string Label = detail::itemLabel(Items[I], What, I);
+      std::fprintf(stderr, "[bench] %s %zu (%s) degraded to ERR: %s\n",
+                   What, I, Label.c_str(), Err.c_str());
+      HarnessState::global().addDegraded(Label + ": " + Err);
+      std::vector<std::string> ErrRow{Label};
+      while (ErrRow.size() < std::max<size_t>(T.numCols(), 2))
+        ErrRow.push_back("ERR");
+      T.addRow(std::move(ErrRow));
+    }
+    return;
+  }
+
   support::ThreadPool &Pool = support::ThreadPool::global();
   std::vector<std::future<MatrixRows>> Pending;
   Pending.reserve(Items.size());
@@ -159,8 +378,17 @@ void runMatrix(const std::vector<workloads::Workload> &Ws,
 /// Construct one at the top of main().
 class ScopedBenchReport {
 public:
-  explicit ScopedBenchReport(const char *Name)
-      : Name(Name), Start(std::chrono::steady_clock::now()) {}
+  /// \p Argc / \p Argv (optional) let the binary honor --strict;
+  /// FPINT_STRICT=1 is the environment equivalent.
+  explicit ScopedBenchReport(const char *Name, int Argc = 0,
+                             char **Argv = nullptr)
+      : Name(Name), Start(std::chrono::steady_clock::now()) {
+    bool Strict = envInt("FPINT_STRICT", 0) != 0;
+    for (int A = 1; A < Argc; ++A)
+      if (std::strcmp(Argv[A], "--strict") == 0)
+        Strict = true;
+    HarnessState::global().Strict = Strict;
+  }
 
   ~ScopedBenchReport() {
     using namespace std::chrono;
@@ -176,6 +404,19 @@ public:
                  static_cast<unsigned long long>(S.CompileHits),
                  static_cast<unsigned long long>(S.SimMisses),
                  static_cast<unsigned long long>(S.SimHits));
+
+    {
+      HarnessState &H = HarnessState::global();
+      std::lock_guard<std::mutex> Lock(H.Mu);
+      if (!H.DegradedCells.empty()) {
+        std::fprintf(stderr,
+                     "[bench] %s: %zu cell(s) degraded to ERR%s:\n",
+                     Name, H.DegradedCells.size(),
+                     H.Strict ? " (strict: exiting nonzero)" : "");
+        for (const std::string &C : H.DegradedCells)
+          std::fprintf(stderr, "[bench]   %s\n", C.c_str());
+      }
+    }
 
     stats::StatsRegistry &Reg = stats::StatsRegistry::global();
     if (!Reg.enabled() || Reg.numRecords() == 0)

@@ -22,8 +22,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("ablation_machine");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("ablation_machine", argc, argv);
   std::printf("Machine ablations (advanced scheme)\n\n");
 
   // Predictor ablation on the branchiest workloads.
@@ -122,5 +122,5 @@ int main() {
                 " 8-way cycle gap closed by\naugmenting the 4-way machine "
                 "instead of doubling its width.\n");
   }
-  return 0;
+  return bench::harnessExit();
 }

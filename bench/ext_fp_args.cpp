@@ -78,8 +78,8 @@ struct Item {
 
 } // namespace
 
-int main() {
-  bench::ScopedBenchReport Report("ext_fp_args");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("ext_fp_args", argc, argv);
   std::printf("Section 6.6 extension: passing integer arguments in FP "
               "registers (advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
@@ -135,5 +135,5 @@ int main() {
               "hidden, so the\nwin is instruction count/energy rather "
               "than cycles -- consistent with the paper\ncalling the "
               "copy overheads small to begin with.\n");
-  return 0;
+  return bench::harnessExit();
 }

@@ -18,8 +18,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("fig10_speedup_8way");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("fig10_speedup_8way", argc, argv);
   std::printf("Figure 10: Speedups over a conventional 8-way machine\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::eightWay();
   timing::MachineConfig Conventional = Machine;
@@ -57,5 +57,5 @@ int main() {
   std::printf("\nPaper: 8-way improvements are much smaller than 4-way "
               "because INT issue width\nalready covers the available "
               "parallelism; only high-ILP programs keep a win.\n");
-  return 0;
+  return bench::harnessExit();
 }

@@ -19,8 +19,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("fig8_partition_size");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("fig8_partition_size", argc, argv);
   std::printf("Figure 8: Size of the FPa partition "
               "(%% of dynamic instructions offloaded)\n\n");
 
@@ -41,5 +41,5 @@ int main() {
   std::printf("\nPaper: basic 5%%-29%%, advanced 9%%-41%%; advanced ~2x basic "
               "for go/compress;\nijpeg 10.7%% -> 32.1%%; li shows almost no "
               "advanced-over-basic gain.\n");
-  return 0;
+  return bench::harnessExit();
 }

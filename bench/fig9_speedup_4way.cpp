@@ -20,8 +20,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("fig9_speedup_4way");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("fig9_speedup_4way", argc, argv);
   std::printf("Figure 9: Speedups over a conventional 4-way machine\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
   timing::MachineConfig Conventional = Machine;
@@ -52,5 +52,5 @@ int main() {
   std::printf("\nPaper: advanced speedups 2.5%%-23.1%%; m88ksim ~23%%, "
               "compress/ijpeg/m88ksim >10%%,\nli smallest; advanced >= basic "
               "except where the partitions barely differ.\n");
-  return 0;
+  return bench::harnessExit();
 }

@@ -34,8 +34,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec4_slice_profile");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec4_slice_profile", argc, argv);
   std::printf("Section 4: dynamic slice census and the FPa upper bound\n\n");
 
   Table T({"benchmark", "ldst slice", "mem ops", "call/ret", "unsupported",
@@ -105,5 +105,5 @@ int main() {
       "operations\nthemselves approach ~50%% of dynamic instructions, "
       "bounding the FPa partition;\ncalling conventions and communication "
       "costs reduce achievable offload further.\n");
-  return 0;
+  return bench::harnessExit();
 }

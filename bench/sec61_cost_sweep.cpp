@@ -19,8 +19,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec61_cost_sweep");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec61_cost_sweep", argc, argv);
   std::printf("Section 6.1: cost-model parameter sweep "
               "(advanced scheme, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
@@ -74,5 +74,5 @@ int main() {
   std::printf("\nPaper: best results with o_copy in [3,6] and o_dupl in "
               "[1.5,3]; too-small\noverheads admit unprofitable copies, "
               "too-large ones forgo profitable offloads.\n");
-  return 0;
+  return bench::harnessExit();
 }

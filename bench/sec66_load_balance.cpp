@@ -21,8 +21,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec66_load_balance");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec66_load_balance", argc, argv);
   std::printf("Section 6.6 ablation: greedy vs load-balanced advanced "
               "partitioning (4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
@@ -55,5 +55,5 @@ int main() {
   std::printf("\nThe cap trades offload for balance; where greedy "
               "partitioning left INT idle\n(compress/ijpeg here), a "
               "moderate cap recovers balance at little speedup cost.\n");
-  return 0;
+  return bench::harnessExit();
 }

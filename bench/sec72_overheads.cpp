@@ -22,8 +22,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec72_overheads");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec72_overheads", argc, argv);
   std::printf("Section 7.2 / 6.6: Advanced-scheme overheads\n\n");
   std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   Table T({"benchmark", "dyn increase", "copies", "dups", "copy-backs",
@@ -66,5 +66,5 @@ int main() {
   std::printf("\nPaper: dynamic increase <1%% typical, max 4%% (compress: "
               "3.4%% copies + 0.6%% dups);\nstatic growth negligible; load "
               "deltas small in both directions (go -3.7%%, gcc +2.6%%).\n");
-  return 0;
+  return bench::harnessExit();
 }

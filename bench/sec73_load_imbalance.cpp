@@ -19,8 +19,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec73_load_imbalance");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec73_load_imbalance", argc, argv);
   std::printf("Section 7.3: INT-idle-while-FPa-busy (advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
 
@@ -47,5 +47,5 @@ int main() {
   std::printf("\nPaper: for m88ksim the INT subsystem idles in 12.4%% of "
               "FPa-busy cycles,\npartly explaining why its speedup trails "
               "its partition size.\n");
-  return 0;
+  return bench::harnessExit();
 }

@@ -19,8 +19,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("sec75_fp_programs");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("sec75_fp_programs", argc, argv);
   std::printf("Section 7.5: Partitioning floating-point programs "
               "(advanced, 4-way)\n\n");
   timing::MachineConfig Machine = timing::MachineConfig::fourWay();
@@ -49,5 +49,5 @@ int main() {
   std::printf("\nPaper: negligible change for FP programs except ear: 18%% "
               "of its (integer\nbranch/store-value) computation offloaded, "
               "18%% speedup; no slowdowns observed.\n");
-  return 0;
+  return bench::harnessExit();
 }

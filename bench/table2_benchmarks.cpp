@@ -22,8 +22,8 @@
 
 using namespace fpint;
 
-int main() {
-  bench::ScopedBenchReport Report("table2_benchmarks");
+int main(int argc, char **argv) {
+  bench::ScopedBenchReport Report("table2_benchmarks", argc, argv);
   std::printf("Table 2: Benchmark programs (synthetic SPEC stand-ins)\n\n");
   std::vector<workloads::Workload> Ws = workloads::intWorkloads();
   for (workloads::Workload &W : workloads::fpWorkloads())
@@ -52,5 +52,5 @@ int main() {
               "(browse.lsp/stmt.i...),\nm88ksim=ctl.raw+dhrybig, "
               "ijpeg=vigo.ppm, perl=scrabbl.pl -- all proprietary, "
               "substituted\nper DESIGN.md section 2.\n");
-  return 0;
+  return bench::harnessExit();
 }

@@ -23,8 +23,15 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 now_ms() { date +%s%3N; }
 
+# Degrade-don't-die: one failing bench binary must not hide the
+# others' results, so every binary runs (with a hang guard), each gets
+# a pass/fail verdict in the summary, and the script exits nonzero at
+# the very end if any failed.
+BENCH_TIMEOUT="${FPINT_BENCH_TIMEOUT:-600}"
+
 : > bench_output.txt
-declare -a names times
+declare -a names times verdicts
+failures=0
 total_start=$(now_ms)
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -32,17 +39,32 @@ for b in build/bench/*; do
     *micro_algorithms) continue ;; # google-benchmark; run explicitly
   esac
   start=$(now_ms)
-  "$b" >> bench_output.txt
+  rc=0
+  timeout "$BENCH_TIMEOUT" "$b" >> bench_output.txt || rc=$?
   echo >> bench_output.txt
   end=$(now_ms)
   names+=("$(basename "$b")")
   times+=($((end - start)))
+  if [ "$rc" -eq 0 ]; then
+    verdicts+=(PASS)
+  elif [ "$rc" -eq 124 ]; then
+    verdicts+=("FAIL (timeout ${BENCH_TIMEOUT}s)")
+    failures=$((failures + 1))
+  else
+    verdicts+=("FAIL (exit $rc)")
+    failures=$((failures + 1))
+  fi
 done
 total_end=$(now_ms)
 
 echo
-echo "Bench wall-clock (FPINT_JOBS=${FPINT_JOBS:-auto}):"
+echo "Bench summary (FPINT_JOBS=${FPINT_JOBS:-auto}):"
 for i in "${!names[@]}"; do
-  printf '  %-28s %6d ms\n' "${names[$i]}" "${times[$i]}"
+  printf '  %-28s %6d ms  %s\n' "${names[$i]}" "${times[$i]}" "${verdicts[$i]}"
 done
 printf '  %-28s %6d ms\n' total $((total_end - total_start))
+
+if [ "$failures" -gt 0 ]; then
+  echo "run_all: $failures bench binar$( [ "$failures" -eq 1 ] && echo y || echo ies ) failed" >&2
+  exit 1
+fi

@@ -3,12 +3,14 @@
 #include "core/Pipeline.h"
 
 #include "sir/Verifier.h"
+#include "support/FaultInject.h"
 
 using namespace fpint;
 using namespace fpint::core;
 
 PipelineRun core::compileAndMeasure(const sir::Module &Original,
                                     PipelineConfig Config) {
+  support::fault::inject("compile");
   PipelineRun Run;
   Run.Config = Config;
   Run.Trace = std::make_shared<TraceHandle>();
@@ -28,8 +30,15 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
   vm::VM Trainer(M, ProfOpts);
   auto TrainResult = Trainer.run(Config.TrainArgs);
   if (!TrainResult.Ok) {
-    Run.Errors.push_back("training run failed: " + TrainResult.Error);
-    return Run;
+    // A deterministic trap (OOB access, malformed call, ...) is a
+    // property of the program, not a harness failure: the profile
+    // collected up to the trap is still a valid training profile, and
+    // the compiled program must reproduce the trap (checked below).
+    // Resource traps (fuel/stack/depth) say nothing usable.
+    if (!vm::isDeterministicTrap(TrainResult.Trap.Kind)) {
+      Run.Errors.push_back("training run failed: " + TrainResult.Error);
+      return Run;
+    }
   }
 
   // 2. Partition.
@@ -60,13 +69,28 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
   MeasureOpts.CollectProfile = true;
   vm::VM Measurer(M, MeasureOpts);
   Run.RefResult = Measurer.run(Config.RefArgs);
-  if (!Run.RefResult.Ok) {
+  auto OriginalRun = vm::runModule(Original, Config.RefArgs);
+
+  const vm::TrapKind OrigTrap = OriginalRun.Trap.Kind;
+  const vm::TrapKind CompTrap = Run.RefResult.Trap.Kind;
+  if (!OriginalRun.Ok && !vm::isDeterministicTrap(OrigTrap)) {
+    Run.Errors.push_back("original run failed: " + OriginalRun.Error);
+    return Run;
+  }
+  if (!Run.RefResult.Ok && !vm::isDeterministicTrap(CompTrap)) {
     Run.Errors.push_back("measurement run failed: " + Run.RefResult.Error);
     return Run;
   }
-  auto OriginalRun = vm::runModule(Original, Config.RefArgs);
-  if (!OriginalRun.Ok) {
-    Run.Errors.push_back("original run failed: " + OriginalRun.Error);
+
+  // Functional equivalence covers traps: a deterministic trap in the
+  // original must re-occur -- same kind -- in the compiled program,
+  // with identical output up to the trap. (Trap *sites* legitimately
+  // move; the kind and the observable prefix may not.)
+  if (OrigTrap != CompTrap) {
+    Run.Errors.push_back(
+        std::string("trap divergence: original ") +
+        vm::trapKindName(OrigTrap) + " vs compiled " +
+        vm::trapKindName(CompTrap));
     return Run;
   }
   Run.OutputsMatchOriginal = OriginalRun.Output == Run.RefResult.Output;
@@ -87,8 +111,11 @@ const std::vector<vm::TraceEntry> &PipelineRun::refTrace() const {
     Opts.CollectTrace = true;
     vm::VM Machine(*Compiled, Opts);
     auto R = Machine.run(Config.RefArgs);
-    // ok() already proved this module/input pair executes cleanly.
-    assert(R.Ok && "trace generation failed");
+    // ok() already proved this module/input pair executes cleanly --
+    // or traps deterministically, in which case the replay traps the
+    // same way and the trace prefix is the dynamic stream.
+    assert((R.Ok || R.Trap.Kind == RefResult.Trap.Kind) &&
+           "trace generation failed");
     (void)R;
     Trace->Entries = Machine.takeTrace();
     Trace->Captures = 1;
@@ -98,6 +125,7 @@ const std::vector<vm::TraceEntry> &PipelineRun::refTrace() const {
 
 timing::SimStats core::simulate(const PipelineRun &Run,
                                 const timing::MachineConfig &Machine) {
+  support::fault::inject("simulate");
   assert(Run.ok() && "simulating a failed pipeline run");
   assert(Run.Config.RunRegisterAllocation &&
          "timing simulation needs register-allocated code");

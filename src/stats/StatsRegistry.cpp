@@ -11,13 +11,15 @@ using namespace fpint::stats;
 void StatsRegistry::record(const std::string &Workload,
                            const core::PipelineConfig &Pipeline,
                            const timing::MachineConfig &Machine,
-                           const timing::SimStats &Stats) {
+                           const timing::SimStats &Stats,
+                           vm::TrapKind Trap) {
   RunRecord R;
   R.Id = runId(Workload, Pipeline, Machine);
   R.Workload = Workload;
   R.Pipeline = Pipeline;
   R.Machine = Machine;
   R.Stats = Stats;
+  R.Trap = Trap;
   std::lock_guard<std::mutex> Lock(Mu);
   Records.emplace(R.Id, std::move(R)); // First record per id wins.
 }
@@ -39,6 +41,7 @@ json::Value StatsRegistry::reportJson(const std::string &BinaryName) const {
     Run.set("id", R.Id);
     Run.set("workload", R.Workload);
     Run.set("scheme", partition::schemeName(R.Pipeline.Scheme));
+    Run.set("trap", vm::trapKindName(R.Trap));
     Run.set("machine", machineToJson(R.Machine));
     Run.set("pipeline", pipelineConfigToJson(R.Pipeline));
     Run.set("stats", simStatsToJson(R.Stats));

@@ -38,6 +38,9 @@ struct RunRecord {
   core::PipelineConfig Pipeline;
   timing::MachineConfig Machine;
   timing::SimStats Stats;
+  /// Trap of the run's functional ref execution (TrapKind::None for a
+  /// clean run); emitted as the record's "trap" field.
+  vm::TrapKind Trap = vm::TrapKind::None;
 };
 
 class StatsRegistry {
@@ -51,7 +54,8 @@ public:
   void record(const std::string &Workload,
               const core::PipelineConfig &Pipeline,
               const timing::MachineConfig &Machine,
-              const timing::SimStats &Stats);
+              const timing::SimStats &Stats,
+              vm::TrapKind Trap = vm::TrapKind::None);
 
   size_t numRecords() const;
 

@@ -1,0 +1,53 @@
+//===- support/FaultInject.h - Test-only fault injection hooks ------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end proof hooks for the fault-containment layer. When the
+/// environment carries
+///
+///   FPINT_FAULT=<kind>:<where>[:once]     kind in {crash, hang, oom}
+///
+/// every call to fault::inject("<where>") executes the named fault at
+/// that point: `crash` dereferences null (SIGSEGV), `hang` ignores
+/// SIGTERM and sleeps forever (forcing the watchdog's SIGKILL
+/// escalation), `oom` allocates and touches memory until the address-
+/// space limit kills the process. With the `:once` suffix the fault
+/// only fires while the harness attempt counter is 1 -- the sandbox
+/// sets the counter before forking each (re)try, so `:once` models a
+/// transient failure that a retry recovers from.
+///
+/// Instrumented sites: "compile" (core::compileAndMeasure), "simulate"
+/// (core::simulate), "cell" (bench::runMatrix sandboxed cell), "oracle"
+/// (testgen::runOracle). The hooks are inert unless FPINT_FAULT is set;
+/// CI's fault-injection job is the only intended user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SUPPORT_FAULTINJECT_H
+#define FPINT_SUPPORT_FAULTINJECT_H
+
+namespace fpint {
+namespace support {
+namespace fault {
+
+/// True when FPINT_FAULT parsed to an armed fault spec.
+bool enabled();
+
+/// Executes the armed fault if \p Where matches the spec (and, for
+/// ":once" specs, the attempt counter is 1). No-op otherwise. May not
+/// return.
+void inject(const char *Where);
+
+/// Sets the 1-based attempt counter consulted by ":once" specs. The
+/// sandboxing harness calls this in the parent before each fork, so
+/// children inherit the attempt number they are running under.
+void setAttempt(unsigned Attempt);
+
+} // namespace fault
+} // namespace support
+} // namespace fpint
+
+#endif // FPINT_SUPPORT_FAULTINJECT_H

@@ -1,0 +1,239 @@
+//===- support/Subprocess.cpp - Fork-based sandboxed task execution -------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fpint;
+using namespace fpint::support;
+
+namespace {
+
+double nowSeconds() {
+  using namespace std::chrono;
+  return duration_cast<duration<double>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// Appends everything currently readable from \p Fd to \p Out;
+/// returns false once the peer closed (EOF).
+bool drainFd(int Fd, std::string &Out) {
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      return false; // EOF.
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return true;
+    if (errno == EINTR)
+      continue;
+    return false; // Unexpected error; treat as closed.
+  }
+}
+
+void applyRlimits(const SandboxLimits &Limits) {
+  if (Limits.CpuSeconds > 0) {
+    struct rlimit RL;
+    RL.rlim_cur = Limits.CpuSeconds;
+    RL.rlim_max = Limits.CpuSeconds + 2;
+    setrlimit(RLIMIT_CPU, &RL);
+  }
+  // ASan reserves terabytes of virtual shadow at startup, so any
+  // RLIMIT_AS cap makes every subsequent child allocation fail; the
+  // wall-clock watchdog still bounds runaway children in those builds.
+#if !FPINT_BUILT_WITH_ASAN
+  if (Limits.AddressSpaceMb > 0) {
+    struct rlimit RL;
+    RL.rlim_cur = Limits.AddressSpaceMb << 20;
+    RL.rlim_max = Limits.AddressSpaceMb << 20;
+    setrlimit(RLIMIT_AS, &RL);
+  }
+#endif
+}
+
+} // namespace
+
+bool Subprocess::writeAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    ssize_t N = write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string TaskResult::describe() const {
+  char Buf[128];
+  switch (St) {
+  case Status::Ok:
+    return "ok";
+  case Status::ExitNonZero:
+    std::snprintf(Buf, sizeof(Buf), "exit %d", ExitCode);
+    return Buf;
+  case Status::Signaled: {
+    const char *Name = strsignal(TermSignal);
+    if (TimedOut)
+      std::snprintf(Buf, sizeof(Buf), "timeout after %.1fs (%s)", WallSeconds,
+                    Killed ? "SIGKILL" : "SIGTERM");
+    else
+      std::snprintf(Buf, sizeof(Buf), "signal %d (%s)", TermSignal,
+                    Name ? Name : "?");
+    return Buf;
+  }
+  case Status::SpawnFailed:
+    return "spawn failed";
+  }
+  return "?";
+}
+
+TaskResult Subprocess::run(const ChildFn &Fn, const SandboxLimits &Limits) {
+  TaskResult R;
+
+  int PayloadPipe[2] = {-1, -1};
+  int StderrPipe[2] = {-1, -1};
+  if (pipe(PayloadPipe) != 0)
+    return R;
+  if (pipe(StderrPipe) != 0) {
+    close(PayloadPipe[0]);
+    close(PayloadPipe[1]);
+    return R;
+  }
+
+  const double Start = nowSeconds();
+  // The child re-flushes inherited stdio buffers on exit; empty them
+  // here so buffered parent output is not duplicated per fork.
+  std::fflush(nullptr);
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    for (int Fd : {PayloadPipe[0], PayloadPipe[1], StderrPipe[0],
+                   StderrPipe[1]})
+      close(Fd);
+    return R;
+  }
+
+  if (Pid == 0) {
+    // Child: own process group (so the supervisor can kill everything
+    // we might spawn), stderr onto the capture pipe, rlimits, task.
+    setpgid(0, 0);
+    close(PayloadPipe[0]);
+    close(StderrPipe[0]);
+    dup2(StderrPipe[1], 2);
+    close(StderrPipe[1]);
+    signal(SIGPIPE, SIG_IGN);
+    applyRlimits(Limits);
+    int Code = 125;
+    try {
+      Code = Fn(PayloadPipe[1]);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "[subprocess] uncaught exception: %s\n", E.what());
+      Code = 125;
+    } catch (...) {
+      std::fprintf(stderr, "[subprocess] uncaught exception\n");
+      Code = 125;
+    }
+    // _exit, not exit: no atexit handlers (they belong to the parent's
+    // lifecycle -- running them here would emit duplicate reports).
+    std::fflush(nullptr);
+    _exit(Code);
+  }
+
+  // Parent / supervisor.
+  setpgid(Pid, Pid); // Mirror the child's setpgid (wins either way).
+  close(PayloadPipe[1]);
+  close(StderrPipe[1]);
+  setNonBlocking(PayloadPipe[0]);
+  setNonBlocking(StderrPipe[0]);
+
+  std::string StderrAll;
+  const double WallDeadline =
+      Limits.WallMs > 0 ? Start + Limits.WallMs / 1000.0 : 0;
+  double KillDeadline = 0;
+  bool PayloadOpen = true, StderrOpen = true;
+  int Status = 0;
+  struct rusage Ru;
+  std::memset(&Ru, 0, sizeof(Ru));
+
+  for (;;) {
+    if (PayloadOpen)
+      PayloadOpen = drainFd(PayloadPipe[0], R.Payload);
+    if (StderrOpen)
+      StderrOpen = drainFd(StderrPipe[0], StderrAll);
+
+    pid_t W = wait4(Pid, &Status, WNOHANG, &Ru);
+    if (W == Pid)
+      break;
+    if (W < 0 && errno != EINTR)
+      break; // Should not happen; avoid spinning forever.
+
+    const double Now = nowSeconds();
+    if (WallDeadline > 0 && Now >= WallDeadline && !R.TimedOut) {
+      R.TimedOut = true;
+      kill(-Pid, SIGTERM);
+      KillDeadline = Now + Limits.KillGraceMs / 1000.0;
+    }
+    if (R.TimedOut && !R.Killed && Now >= KillDeadline) {
+      R.Killed = true;
+      kill(-Pid, SIGKILL);
+    }
+
+    struct pollfd Fds[2];
+    nfds_t NFds = 0;
+    if (PayloadOpen)
+      Fds[NFds++] = {PayloadPipe[0], POLLIN, 0};
+    if (StderrOpen)
+      Fds[NFds++] = {StderrPipe[0], POLLIN, 0};
+    poll(NFds ? Fds : nullptr, NFds, 20);
+  }
+
+  // Drain whatever the pipes still buffer, then close.
+  while (PayloadOpen)
+    PayloadOpen = drainFd(PayloadPipe[0], R.Payload);
+  while (StderrOpen)
+    StderrOpen = drainFd(StderrPipe[0], StderrAll);
+  close(PayloadPipe[0]);
+  close(StderrPipe[0]);
+
+  R.WallSeconds = nowSeconds() - Start;
+  R.PeakRssKb = Ru.ru_maxrss;
+  if (StderrAll.size() > Limits.StderrTailBytes)
+    StderrAll.erase(0, StderrAll.size() - Limits.StderrTailBytes);
+  R.StderrTail = std::move(StderrAll);
+
+  if (WIFEXITED(Status)) {
+    R.ExitCode = WEXITSTATUS(Status);
+    R.St = R.ExitCode == 0 ? TaskResult::Status::Ok
+                           : TaskResult::Status::ExitNonZero;
+  } else if (WIFSIGNALED(Status)) {
+    R.TermSignal = WTERMSIG(Status);
+    R.St = TaskResult::Status::Signaled;
+  }
+  return R;
+}

@@ -1,0 +1,119 @@
+//===- support/Subprocess.h - Fork-based sandboxed task execution ---------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-isolation for harness tasks that may crash, hang, or exhaust
+/// memory: Subprocess::run forks a child, runs an arbitrary callable in
+/// it under RLIMIT_CPU / RLIMIT_AS, and supervises it with a wall-clock
+/// watchdog that escalates SIGTERM -> SIGKILL. The parent structurally
+/// captures everything a triage layer needs: exit status or fatal
+/// signal, whether the watchdog fired (and whether it had to escalate),
+/// the tail of the child's stderr, peak RSS, and an arbitrary byte
+/// payload the child streamed back over a pipe.
+///
+/// This is the containment layer under the degrade-don't-die bench
+/// matrix (bench::runMatrix sandboxed cells) and the fpint-fuzz
+/// campaign runner (sandboxed iterations with crash/hang triage); see
+/// docs/ROBUSTNESS.md.
+///
+/// Forking contract: run() must only be called from a thread that is
+/// not racing other threads for locks the child will need (malloc,
+/// the run cache). The harnesses guarantee this by dispatching all
+/// sandboxed work from the orchestration thread, never from pool
+/// workers. The child runs the callable and _exit()s; it never
+/// returns into the caller's stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SUPPORT_SUBPROCESS_H
+#define FPINT_SUPPORT_SUBPROCESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// True when this translation unit is compiled under AddressSanitizer.
+/// The sandbox skips RLIMIT_AS in that case (ASan's shadow reservation
+/// makes any address-space cap fatal to the child), and the tests skip
+/// the expectations that depend on it.
+#if defined(__SANITIZE_ADDRESS__)
+#define FPINT_BUILT_WITH_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FPINT_BUILT_WITH_ASAN 1
+#endif
+#endif
+#ifndef FPINT_BUILT_WITH_ASAN
+#define FPINT_BUILT_WITH_ASAN 0
+#endif
+
+namespace fpint {
+namespace support {
+
+/// Resource and supervision limits applied to one sandboxed task.
+struct SandboxLimits {
+  /// Wall-clock watchdog in milliseconds; 0 disables the watchdog.
+  int WallMs = 0;
+  /// Grace between the watchdog's SIGTERM and the SIGKILL escalation.
+  int KillGraceMs = 1000;
+  /// RLIMIT_CPU in seconds (soft limit; hard limit +2s); 0 inherits.
+  uint64_t CpuSeconds = 0;
+  /// RLIMIT_AS in MiB; 0 inherits the parent's limit.
+  uint64_t AddressSpaceMb = 0;
+  /// How much of the child's stderr to retain (the tail).
+  size_t StderrTailBytes = 8192;
+};
+
+/// Structured outcome of one sandboxed task.
+struct TaskResult {
+  enum class Status {
+    Ok,          ///< Child exited 0.
+    ExitNonZero, ///< Child exited with a nonzero code.
+    Signaled,    ///< Child died on a signal (SIGSEGV, SIGKILL, ...).
+    SpawnFailed, ///< fork/pipe failed; nothing ran.
+  };
+
+  Status St = Status::SpawnFailed;
+  int ExitCode = -1;   ///< Valid for Ok / ExitNonZero.
+  int TermSignal = 0;  ///< Valid for Signaled.
+  bool TimedOut = false; ///< Watchdog sent SIGTERM.
+  bool Killed = false;   ///< Watchdog escalated to SIGKILL.
+  std::string Payload;    ///< Bytes the child wrote to its payload fd.
+  std::string StderrTail; ///< Last StderrTailBytes of child stderr.
+  long PeakRssKb = 0;     ///< ru_maxrss of the reaped child.
+  double WallSeconds = 0; ///< Fork-to-reap wall clock.
+
+  bool ok() const { return St == Status::Ok; }
+
+  /// Human-readable one-liner: "exit 3", "signal 11 (SIGSEGV)",
+  /// "timeout after 2.0s (SIGKILL)", "spawn failed".
+  std::string describe() const;
+};
+
+class Subprocess {
+public:
+  /// The child-side task. Receives the write end of the payload pipe;
+  /// its return value becomes the child's exit code. Exceptions are
+  /// caught, reported on stderr, and mapped to exit code 125.
+  using ChildFn = std::function<int(int PayloadFd)>;
+
+  /// Forks and runs \p Fn in the child under \p Limits; blocks until
+  /// the child is reaped (or the watchdog destroyed it).
+  static TaskResult run(const ChildFn &Fn, const SandboxLimits &Limits);
+
+  /// EINTR-safe full write (child-side helper for the payload fd).
+  /// Returns false on a write error (e.g. the supervisor died).
+  static bool writeAll(int Fd, const void *Data, size_t Len);
+  static bool writeAll(int Fd, const std::string &S) {
+    return writeAll(Fd, S.data(), S.size());
+  }
+};
+
+} // namespace support
+} // namespace fpint
+
+#endif // FPINT_SUPPORT_SUBPROCESS_H

@@ -43,6 +43,9 @@ public:
   /// Number of data rows added so far.
   size_t numRows() const { return Rows.size(); }
 
+  /// Number of header columns (degraded ERR rows pad to this width).
+  size_t numCols() const { return Header.size(); }
+
 private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;

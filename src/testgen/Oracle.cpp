@@ -4,6 +4,7 @@
 
 #include "partition/Partitioner.h"
 #include "sir/Opcode.h"
+#include "support/FaultInject.h"
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
 #include "timing/Simulator.h"
@@ -64,12 +65,20 @@ public:
       : M(M), Opts(Opts) {}
 
   OracleReport run() {
+    if (Opts.Progress)
+      Opts.Progress("baseline");
     Baseline = runFunctional(M, Opts.Args, Opts.BaselineMaxSteps,
                              /*WithTrace=*/false, nullptr);
     if (!Baseline.Result.Ok) {
-      Report.BaselineSkipped = true;
-      Report.BaselineError = Baseline.Result.Error;
-      return std::move(Report);
+      // Resource limits say nothing about the program; skip. A
+      // deterministic trap is a semantic outcome every variant must
+      // reproduce, so the differential check proceeds in trap mode.
+      if (!vm::isDeterministicTrap(Baseline.Result.Trap.Kind)) {
+        Report.BaselineSkipped = true;
+        Report.BaselineError = Baseline.Result.Error;
+        return std::move(Report);
+      }
+      Report.BaselineTrap = Baseline.Result.Trap.Kind;
     }
     Report.BaselineDynInstrs = Baseline.Result.Steps;
     for (const VariantSpec &V : Opts.Variants)
@@ -83,6 +92,8 @@ private:
   }
 
   void checkVariant(const VariantSpec &V) {
+    if (Opts.Progress)
+      Opts.Progress(V.Name);
     core::PipelineConfig Config = V.Config;
     Config.TrainArgs = Opts.Args;
     Config.RefArgs = Opts.Args;
@@ -113,19 +124,33 @@ private:
     const uint64_t CompiledBudget = Opts.BaselineMaxSteps * 4 + 10000;
     RunImage Compiled = runFunctional(*Run.Compiled, Opts.Args, CompiledBudget,
                                       /*WithTrace=*/true, &Trace);
-    if (!Compiled.Result.Ok) {
-      mismatch(V.Name, "compiled run failed: " + Compiled.Result.Error);
+
+    // Trap equivalence: the compiled program must stop exactly the way
+    // the original did -- same deterministic kind, or not at all.
+    const vm::TrapKind CompTrap = Compiled.Result.Trap.Kind;
+    if (CompTrap != Report.BaselineTrap) {
+      mismatch(V.Name,
+               std::string("trap divergence: original ") +
+                   vm::trapKindName(Report.BaselineTrap) + ", compiled " +
+                   vm::trapKindName(CompTrap) +
+                   (Compiled.Result.Error.empty()
+                        ? std::string()
+                        : " (" + Compiled.Result.Error + ")"));
       return;
     }
 
-    compareFunctional(V.Name, Compiled);
+    compareFunctional(V.Name, Compiled,
+                      /*Trapped=*/Report.BaselineTrap != vm::TrapKind::None);
+    if (Report.BaselineTrap != vm::TrapKind::None)
+      return; // Stats/timing invariants assume a completed execution.
     crossCheckStats(V.Name, Run, Trace);
     if (Opts.CheckTiming && Config.RunRegisterAllocation &&
         Run.Alloc.Errors.empty())
       crossCheckTiming(V.Name, Run, Trace);
   }
 
-  void compareFunctional(const std::string &Name, const RunImage &Compiled) {
+  void compareFunctional(const std::string &Name, const RunImage &Compiled,
+                         bool Trapped) {
     // Output stream.
     const auto &Want = Baseline.Result.Output;
     const auto &Got = Compiled.Result.Output;
@@ -143,8 +168,8 @@ private:
         }
     }
 
-    // Architectural exit state.
-    if (Baseline.Result.ExitValue != Compiled.Result.ExitValue)
+    // Architectural exit state (trapped runs never reach `ret`).
+    if (!Trapped && Baseline.Result.ExitValue != Compiled.Result.ExitValue)
       mismatch(Name, "exit value differs: original " +
                          std::to_string(Baseline.Result.ExitValue) +
                          ", compiled " +
@@ -234,5 +259,6 @@ private:
 
 OracleReport testgen::runOracle(const sir::Module &M,
                                 const OracleOptions &Opts) {
+  support::fault::inject("oracle");
   return OracleRun(M, Opts).run();
 }

@@ -62,13 +62,23 @@ struct OracleOptions {
   /// equivalence checks, simulating a compiler bug. Must not add or
   /// remove virtual registers (the regalloc map is reused).
   std::function<void(sir::Module &)> CompiledMutator;
+  /// Progress breadcrumbs ("baseline", then each variant name) emitted
+  /// just before the corresponding work starts. Sandboxed drivers use
+  /// this to attribute crashes and hangs to a pipeline stage.
+  std::function<void(const std::string &Stage)> Progress;
 };
 
 struct OracleReport {
-  /// True when the baseline run itself did not complete (step budget,
-  /// etc.). Not a correctness verdict; fuzzers should skip the module.
+  /// True when the baseline run hit a resource limit (step budget,
+  /// stack depth, ...). Not a correctness verdict; fuzzers should
+  /// skip the module.
   bool BaselineSkipped = false;
   std::string BaselineError;
+  /// Deterministic trap of the baseline run (TrapKind::None when it
+  /// ran to completion). When set, the oracle switches to
+  /// trap-equivalence mode: every variant must trap with the same
+  /// kind after producing the same output prefix and memory image.
+  vm::TrapKind BaselineTrap = vm::TrapKind::None;
   /// One message per detected divergence, prefixed "[variant] ".
   std::vector<std::string> Mismatches;
   uint64_t BaselineDynInstrs = 0;

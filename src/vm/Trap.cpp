@@ -1,0 +1,75 @@
+//===- vm/Trap.cpp - Typed VM trap taxonomy -------------------------------===//
+
+#include "vm/Trap.h"
+
+using namespace fpint;
+using namespace fpint::vm;
+
+const char *vm::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::OobLoad:
+    return "oob_load";
+  case TrapKind::OobStore:
+    return "oob_store";
+  case TrapKind::UnknownGlobal:
+    return "unknown_global";
+  case TrapKind::UnknownCallee:
+    return "unknown_callee";
+  case TrapKind::BadArgCount:
+    return "bad_arg_count";
+  case TrapKind::NoMain:
+    return "no_main";
+  case TrapKind::BadMainArity:
+    return "bad_main_arity";
+  case TrapKind::NoEntryBlock:
+    return "no_entry_block";
+  case TrapKind::ControlFellOffEnd:
+    return "control_fell_off_end";
+  case TrapKind::FuelExhausted:
+    return "fuel_exhausted";
+  case TrapKind::CallDepthExceeded:
+    return "call_depth_exceeded";
+  case TrapKind::StackOverflow:
+    return "stack_overflow";
+  }
+  return "none";
+}
+
+TrapKind vm::trapKindFromName(const std::string &Name) {
+  static const TrapKind All[] = {
+      TrapKind::OobLoad,           TrapKind::OobStore,
+      TrapKind::UnknownGlobal,     TrapKind::UnknownCallee,
+      TrapKind::BadArgCount,       TrapKind::NoMain,
+      TrapKind::BadMainArity,      TrapKind::NoEntryBlock,
+      TrapKind::ControlFellOffEnd,
+      TrapKind::FuelExhausted,     TrapKind::CallDepthExceeded,
+      TrapKind::StackOverflow};
+  for (TrapKind K : All)
+    if (Name == trapKindName(K))
+      return K;
+  return TrapKind::None;
+}
+
+bool vm::isResourceTrap(TrapKind K) {
+  switch (K) {
+  case TrapKind::FuelExhausted:
+  case TrapKind::CallDepthExceeded:
+  case TrapKind::StackOverflow:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool vm::isDeterministicTrap(TrapKind K) {
+  return K != TrapKind::None && !isResourceTrap(K) &&
+         K != TrapKind::NoMain && K != TrapKind::BadMainArity;
+}
+
+std::string Trap::message() const {
+  if (Detail.empty())
+    return trapKindName(Kind);
+  return Detail;
+}

@@ -1,0 +1,89 @@
+//===- vm/Trap.h - Typed VM trap taxonomy ---------------------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed trap taxonomy of the functional VM. Every way a sir
+/// program can fail to run to completion is one TrapKind; the VM
+/// reports a Trap (kind + human-readable detail) instead of a bare
+/// string, so harnesses can triage failures structurally: the
+/// differential oracle checks that compilation preserves deterministic
+/// traps, the fuzzer buckets crashes by trap kind, and the telemetry
+/// reports carry the kind of every recorded run.
+///
+/// Kinds split into two classes (see docs/ROBUSTNESS.md):
+///
+///  * Deterministic traps are semantic properties of the program and
+///    its input (an out-of-bounds access, control falling off a
+///    function's end, a malformed call). Partitioning and register
+///    allocation must preserve them exactly: a compiled variant that
+///    traps differently -- or does not trap -- has been miscompiled.
+///  * Resource traps depend on interpreter budgets (step fuel, stack
+///    depth, frame memory) that legitimately differ between a program
+///    and its compiled clone (copies and spills add instructions), so
+///    differential checks treat them as "skip", never as a verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_VM_TRAP_H
+#define FPINT_VM_TRAP_H
+
+#include <cstdint>
+#include <string>
+
+namespace fpint {
+namespace vm {
+
+/// Every distinct way a run can stop abnormally. Keep in sync with
+/// trapKindName() and docs/ROBUSTNESS.md.
+enum class TrapKind : uint8_t {
+  None = 0,          ///< The run completed normally.
+  OobLoad,           ///< Load outside the flat memory image.
+  OobStore,          ///< Store outside the flat memory image.
+  UnknownGlobal,     ///< Address of a global the module does not declare.
+  UnknownCallee,     ///< Call to a function the module does not define.
+  BadArgCount,       ///< Call-site argument count != callee formals.
+  NoMain,            ///< Module has no "main" to start from.
+  BadMainArity,      ///< Harness passed main the wrong argument count.
+  NoEntryBlock,      ///< Called function has no entry block.
+  ControlFellOffEnd, ///< Execution ran past the last block.
+  FuelExhausted,     ///< Dynamic instruction budget spent (resource).
+  CallDepthExceeded, ///< Recursion guard tripped (resource).
+  StackOverflow,     ///< Frame stack met the globals region (resource).
+};
+
+/// Stable lower-snake name of \p K ("oob_load", "fuel_exhausted", ...),
+/// used in telemetry JSON and crash-bucket keys.
+const char *trapKindName(TrapKind K);
+
+/// Inverse of trapKindName(); TrapKind::None for unknown names.
+TrapKind trapKindFromName(const std::string &Name);
+
+/// True for traps that depend on interpreter budgets rather than
+/// program semantics. Differential checks skip these instead of
+/// requiring the compiled program to reproduce them.
+bool isResourceTrap(TrapKind K);
+
+/// True for traps the compiled program must reproduce exactly: a
+/// semantic property of (program, input), not a budget (resource
+/// traps) or a harness setup error (NoMain / BadMainArity).
+bool isDeterministicTrap(TrapKind K);
+
+/// One abnormal termination: the kind plus a rendered detail message
+/// (site addresses, symbol names) for humans.
+struct Trap {
+  TrapKind Kind = TrapKind::None;
+  std::string Detail;
+
+  explicit operator bool() const { return Kind != TrapKind::None; }
+
+  /// "kind: detail" (or just the kind name when there is no detail).
+  std::string message() const;
+};
+
+} // namespace vm
+} // namespace fpint
+
+#endif // FPINT_VM_TRAP_H

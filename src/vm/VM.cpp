@@ -75,6 +75,14 @@ std::vector<uint8_t> VM::globalImage() const {
   return std::vector<uint8_t>(Mem.begin() + GlobalBase, Mem.begin() + End);
 }
 
+bool VM::trap(TrapKind Kind, std::string Detail) {
+  if (!CurTrap) {
+    CurTrap.Kind = Kind;
+    CurTrap.Detail = std::move(Detail);
+  }
+  return false;
+}
+
 uint32_t VM::effectiveAddress(const Frame &Fr, const sir::MemOperand &Mem,
                               bool &OkFlag) {
   OkFlag = true;
@@ -84,7 +92,7 @@ uint32_t VM::effectiveAddress(const Frame &Fr, const sir::MemOperand &Mem,
   } else if (!Mem.Symbol.empty()) {
     auto It = GlobalAddrs.find(Mem.Symbol);
     if (It == GlobalAddrs.end()) {
-      RunError = "unknown global '" + Mem.Symbol + "'";
+      trap(TrapKind::UnknownGlobal, "unknown global '" + Mem.Symbol + "'");
       OkFlag = false;
       return 0;
     }
@@ -97,8 +105,7 @@ uint32_t VM::effectiveAddress(const Frame &Fr, const sir::MemOperand &Mem,
 
 bool VM::loadWord(uint32_t Addr, int32_t &Out) {
   if (Addr + 4 > Mem.size() || Addr + 4 < Addr) {
-    RunError = "load out of bounds at " + std::to_string(Addr);
-    return false;
+    return trap(TrapKind::OobLoad, "load out of bounds at " + std::to_string(Addr));
   }
   std::memcpy(&Out, &Mem[Addr], 4);
   return true;
@@ -106,8 +113,7 @@ bool VM::loadWord(uint32_t Addr, int32_t &Out) {
 
 bool VM::storeWord(uint32_t Addr, int32_t Value) {
   if (Addr + 4 > Mem.size() || Addr + 4 < Addr) {
-    RunError = "store out of bounds at " + std::to_string(Addr);
-    return false;
+    return trap(TrapKind::OobStore, "store out of bounds at " + std::to_string(Addr));
   }
   std::memcpy(&Mem[Addr], &Value, 4);
   return true;
@@ -115,8 +121,7 @@ bool VM::storeWord(uint32_t Addr, int32_t Value) {
 
 bool VM::loadByte(uint32_t Addr, uint8_t &Out) {
   if (Addr >= Mem.size()) {
-    RunError = "load out of bounds at " + std::to_string(Addr);
-    return false;
+    return trap(TrapKind::OobLoad, "load out of bounds at " + std::to_string(Addr));
   }
   Out = Mem[Addr];
   return true;
@@ -124,8 +129,7 @@ bool VM::loadByte(uint32_t Addr, uint8_t &Out) {
 
 bool VM::storeByte(uint32_t Addr, uint8_t Value) {
   if (Addr >= Mem.size()) {
-    RunError = "store out of bounds at " + std::to_string(Addr);
-    return false;
+    return trap(TrapKind::OobStore, "store out of bounds at " + std::to_string(Addr));
   }
   Mem[Addr] = Value;
   return true;
@@ -133,17 +137,37 @@ bool VM::storeByte(uint32_t Addr, uint8_t Value) {
 
 bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
               int32_t &RetValue, unsigned Depth) {
-  if (Depth > Opts.MaxCallDepth) {
-    RunError = "call depth limit exceeded in '" + F.name() + "'";
-    return false;
+  // Native-stack headroom backstop for the depth guard: the byte cost
+  // of one exec() frame varies several-fold between builds (sanitizer
+  // redzones), so measure actual consumption from the outermost frame.
+  char Probe;
+  uintptr_t Here = reinterpret_cast<uintptr_t>(&Probe);
+  if (Depth == 0) {
+    NativeStackBase = Here;
+  } else {
+    size_t Used = NativeStackBase > Here ? NativeStackBase - Here
+                                         : Here - NativeStackBase;
+    if (Used > Opts.MaxNativeStackBytes)
+      return trap(TrapKind::StackOverflow,
+                  "interpreter stack limit exceeded in '" + F.name() + "'");
   }
+  if (Depth > Opts.MaxCallDepth)
+    return trap(TrapKind::CallDepthExceeded,
+                "call depth limit exceeded in '" + F.name() + "'");
 
   Frame Fr;
   Fr.F = &F;
   Fr.IntRegs.assign(F.numRegs(), 0);
   Fr.FpRegs.assign(F.numRegs(), 0.0f);
 
-  assert(Args.size() == F.formals().size() && "argument count mismatch");
+  // Reachable from unverified modules (a call site whose argument list
+  // does not match the callee); a trap, not an assert, so malformed
+  // input degrades instead of aborting the harness.
+  if (Args.size() != F.formals().size())
+    return trap(TrapKind::BadArgCount,
+                "call to '" + F.name() + "' with " +
+                    std::to_string(Args.size()) + " arguments, expected " +
+                    std::to_string(F.formals().size()));
   for (size_t A = 0; A < Args.size(); ++A) {
     Reg Formal = F.formals()[A];
     if (F.regClass(Formal) == RegClass::Fp) {
@@ -159,10 +183,8 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
 
   // Allocate this invocation's spill frame.
   uint32_t FrameBytes = (F.frameWords() * 4 + 15u) & ~15u;
-  if (FrameBytes > StackTop - GlobalBase) {
-    RunError = "stack overflow";
-    return false;
-  }
+  if (FrameBytes > StackTop - GlobalBase)
+    return trap(TrapKind::StackOverflow, "stack overflow in '" + F.name() + "'");
   StackTop -= FrameBytes;
   Fr.FramePtr = StackTop;
 
@@ -211,7 +233,7 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
   const sir::BasicBlock *BB = F.entry();
   size_t Idx = 0;
   if (!BB) {
-    RunError = "function '" + F.name() + "' has no entry block";
+    trap(TrapKind::NoEntryBlock, "function '" + F.name() + "' has no entry block");
     return Bail();
   }
 
@@ -224,7 +246,8 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
       CountedBlock = false;
     }
     if (!BB) {
-      RunError = "control fell off the end of '" + F.name() + "'";
+      trap(TrapKind::ControlFellOffEnd,
+           "control fell off the end of '" + F.name() + "'");
       return Bail();
     }
     if (Idx == 0 && !CountedBlock) {
@@ -235,7 +258,7 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
 
     const Instruction &I = *BB->instructions()[Idx];
     if (++Steps > Opts.MaxSteps) {
-      RunError = "dynamic instruction budget exceeded";
+      trap(TrapKind::FuelExhausted, "dynamic instruction budget exceeded");
       return Bail();
     }
     if (Opts.CollectProfile)
@@ -442,7 +465,7 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
     case Opcode::Call: {
       const sir::Function *Callee = M.functionByName(I.callee());
       if (!Callee) {
-        RunError = "unknown callee '" + I.callee() + "'";
+        trap(TrapKind::UnknownCallee, "unknown callee '" + I.callee() + "'");
         return Bail();
       }
       std::vector<int32_t> CallArgs;
@@ -554,19 +577,24 @@ bool VM::exec(const sir::Function &F, const std::vector<int32_t> &Args,
 
 VM::Result VM::run(const std::vector<int32_t> &MainArgs) {
   Result R;
+  Steps = 0;
+  CurTrap = Trap();
   const sir::Function *Main = M.functionByName("main");
   if (!Main) {
-    R.Error = "module has no 'main' function";
+    trap(TrapKind::NoMain, "module has no 'main' function");
+    R.Trap = CurTrap;
+    R.Error = CurTrap.message();
     return R;
   }
   if (Main->formals().size() != MainArgs.size()) {
-    R.Error = "main expects " + std::to_string(Main->formals().size()) +
-              " arguments, got " + std::to_string(MainArgs.size());
+    trap(TrapKind::BadMainArity,
+         "main expects " + std::to_string(Main->formals().size()) +
+             " arguments, got " + std::to_string(MainArgs.size()));
+    R.Trap = CurTrap;
+    R.Error = CurTrap.message();
     return R;
   }
 
-  Steps = 0;
-  RunError.clear();
   Output.clear();
   Trace.clear();
   Prof = Profile();
@@ -574,7 +602,8 @@ VM::Result VM::run(const std::vector<int32_t> &MainArgs) {
   int32_t Ret = 0;
   bool Ok = exec(*Main, MainArgs, Ret, 0);
   R.Ok = Ok;
-  R.Error = RunError;
+  R.Trap = CurTrap;
+  R.Error = Ok ? std::string() : CurTrap.message();
   R.Steps = Steps;
   R.ExitValue = Ret;
   R.Output = Output;

@@ -29,6 +29,7 @@
 #define FPINT_VM_VM_H
 
 #include "sir/IR.h"
+#include "vm/Trap.h"
 
 #include <string>
 #include <unordered_map>
@@ -63,13 +64,28 @@ public:
   struct Options {
     uint32_t MemBytes = 16u << 20;  ///< Flat memory size.
     uint64_t MaxSteps = 400000000;  ///< Dynamic instruction budget.
-    unsigned MaxCallDepth = 20000;  ///< Recursion guard.
+    /// Recursion guard. exec() recurses on the native stack (each
+    /// guest frame costs a few KB of C++ stack), so this must stay
+    /// small enough that the guard trap fires well before the host
+    /// stack does.
+    unsigned MaxCallDepth = 2000;
+    /// Backstop for the depth guard: native exec() frame sizes vary
+    /// wildly between builds (sanitizer redzones inflate them
+    /// several-fold), so the byte consumption measured from the
+    /// outermost frame is also capped, well inside the typical 8 MB
+    /// host stack.
+    size_t MaxNativeStackBytes = 4u << 20;
     bool CollectTrace = false;      ///< Record the dynamic trace.
     bool CollectProfile = false;    ///< Record block execution counts.
   };
 
   struct Result {
     bool Ok = false;
+    /// Typed cause of an abnormal stop (Kind == None iff Ok). The
+    /// taxonomy lives in vm/Trap.h; kinds are deterministic properties
+    /// of (program, input) except the resource traps.
+    vm::Trap Trap;
+    /// Rendered Trap.message() for display; empty when Ok.
     std::string Error;
     uint64_t Steps = 0;
     int32_t ExitValue = 0;
@@ -128,10 +144,15 @@ private:
   std::unordered_map<std::string, uint32_t> GlobalAddrs;
   std::unordered_map<const sir::Function *, uint32_t> FuncBasePc;
   uint32_t StackTop = 0;
+  uintptr_t NativeStackBase = 0;
+
+  /// Records the typed trap that stops the current run (first trap
+  /// wins) and returns false so trap sites can `return trap(...)`.
+  bool trap(TrapKind Kind, std::string Detail);
 
   // Run state.
   uint64_t Steps = 0;
-  std::string RunError;
+  Trap CurTrap;
   std::vector<int32_t> Output;
   std::vector<TraceEntry> Trace;
   Profile Prof;

@@ -75,13 +75,40 @@ loop:
   EXPECT_TRUE(Run.OutputsMatchOriginal);
 }
 
-TEST(Pipeline, ReportsTrainingFailure) {
+TEST(Pipeline, PreservesDeterministicTrap) {
+  // A deterministic trap (here: out-of-bounds load) is a semantic
+  // property of the program. The pipeline must compile it anyway and
+  // verify the compiled program traps the same way.
   const char *Src = R"(
 func main(%n) {
 entry:
   li %p, -100
   lw %v, 0(%p)
   out %v
+  ret
+}
+)";
+  auto M = parseOrDie(Src);
+  PipelineConfig Cfg;
+  Cfg.Scheme = partition::Scheme::Advanced;
+  Cfg.TrainArgs = {1};
+  Cfg.RefArgs = {1};
+  PipelineRun Run = compileAndMeasure(*M, Cfg);
+  ASSERT_TRUE(Run.ok()) << (Run.Errors.empty() ? "?" : Run.Errors[0]);
+  EXPECT_FALSE(Run.RefResult.Ok);
+  EXPECT_EQ(Run.RefResult.Trap.Kind, vm::TrapKind::OobLoad);
+  EXPECT_TRUE(Run.OutputsMatchOriginal);
+}
+
+TEST(Pipeline, ReportsTrainingFailure) {
+  // A resource trap (unbounded recursion -> call-depth guard) says
+  // nothing about the program's semantics; the pipeline reports the
+  // training run as failed instead of compiling from a junk profile.
+  const char *Src = R"(
+func main(%n) {
+entry:
+  call %r, main(%n)
+  out %r
   ret
 }
 )";

@@ -1,0 +1,182 @@
+//===- tests/SubprocessTest.cpp - Sandboxed task execution ----------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// support::Subprocess containment paths: payload capture, exit-code
+/// and signal classification, the SIGTERM -> SIGKILL watchdog
+/// escalation, RLIMIT_AS enforcement, stderr-tail capture, and the
+/// FPINT_FAULT attempt counter that models transient failures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+using namespace fpint;
+using namespace fpint::support;
+
+namespace {
+
+SandboxLimits quickLimits() {
+  SandboxLimits L;
+  L.WallMs = 10000;
+  L.KillGraceMs = 300;
+  return L;
+}
+
+void sleepMs(int Ms) {
+  struct timespec TS = {Ms / 1000, (Ms % 1000) * 1000000L};
+  nanosleep(&TS, nullptr);
+}
+
+TEST(Subprocess, CapturesPayloadAndExitZero) {
+  TaskResult R = Subprocess::run(
+      [](int Fd) {
+        Subprocess::writeAll(Fd, "hello from the child");
+        return 0;
+      },
+      quickLimits());
+  EXPECT_TRUE(R.ok()) << R.describe();
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Payload, "hello from the child");
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_GT(R.PeakRssKb, 0);
+}
+
+TEST(Subprocess, ClassifiesNonZeroExit) {
+  TaskResult R = Subprocess::run([](int) { return 42; }, quickLimits());
+  EXPECT_EQ(R.St, TaskResult::Status::ExitNonZero);
+  EXPECT_EQ(R.ExitCode, 42);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Subprocess, ClassifiesFatalSignal) {
+  TaskResult R = Subprocess::run(
+      [](int) -> int {
+        // Sanitizer runtimes install a SIGSEGV handler that converts
+        // the fault into a report + exit; restore the default
+        // disposition so the child genuinely dies by signal.
+        signal(SIGSEGV, SIG_DFL);
+        raise(SIGSEGV);
+        return 0;
+      },
+      quickLimits());
+  EXPECT_EQ(R.St, TaskResult::Status::Signaled);
+  EXPECT_EQ(R.TermSignal, SIGSEGV);
+  EXPECT_NE(R.describe().find("signal"), std::string::npos);
+}
+
+TEST(Subprocess, ChildExceptionBecomesExit125) {
+  TaskResult R = Subprocess::run(
+      [](int) -> int { throw std::runtime_error("boom in child"); },
+      quickLimits());
+  EXPECT_EQ(R.St, TaskResult::Status::ExitNonZero);
+  EXPECT_EQ(R.ExitCode, 125);
+  EXPECT_NE(R.StderrTail.find("boom in child"), std::string::npos);
+}
+
+TEST(Subprocess, WatchdogTerminatesCooperativeHang) {
+  SandboxLimits L;
+  L.WallMs = 200;
+  L.KillGraceMs = 2000;
+  TaskResult R = Subprocess::run(
+      [](int) {
+        for (;;)
+          sleepMs(50);
+        return 0;
+      },
+      L);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_FALSE(R.Killed); // Default SIGTERM disposition killed it.
+  EXPECT_EQ(R.St, TaskResult::Status::Signaled);
+  EXPECT_EQ(R.TermSignal, SIGTERM);
+}
+
+TEST(Subprocess, WatchdogEscalatesToSigkill) {
+  SandboxLimits L;
+  L.WallMs = 200;
+  L.KillGraceMs = 200;
+  TaskResult R = Subprocess::run(
+      [](int) {
+        std::signal(SIGTERM, SIG_IGN);
+        for (;;)
+          sleepMs(50);
+        return 0;
+      },
+      L);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_TRUE(R.Killed);
+  EXPECT_EQ(R.St, TaskResult::Status::Signaled);
+  EXPECT_EQ(R.TermSignal, SIGKILL);
+  EXPECT_NE(R.describe().find("timeout"), std::string::npos);
+}
+
+TEST(Subprocess, AddressSpaceLimitContainsAllocation) {
+#if FPINT_BUILT_WITH_ASAN
+  GTEST_SKIP() << "RLIMIT_AS is not applied under ASan (shadow reservation)";
+#endif
+  SandboxLimits L = quickLimits();
+  L.AddressSpaceMb = 64;
+  TaskResult R = Subprocess::run(
+      [](int) -> int {
+        // Try to allocate and touch far more than the limit; the
+        // sandbox must stop the child (bad_alloc -> exit 125), never
+        // the parent.
+        for (int I = 0; I < 512; ++I) {
+          char *P = new char[1 << 20];
+          std::memset(P, 0xcd, 1 << 20);
+        }
+        return 0;
+      },
+      L);
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.TimedOut);
+}
+
+TEST(Subprocess, StderrTailKeepsOnlyTheTail) {
+  SandboxLimits L = quickLimits();
+  L.StderrTailBytes = 64;
+  TaskResult R = Subprocess::run(
+      [](int) {
+        for (int I = 0; I < 1000; ++I)
+          std::fprintf(stderr, "line %04d\n", I);
+        return 0;
+      },
+      L);
+  EXPECT_TRUE(R.ok());
+  EXPECT_LE(R.StderrTail.size(), 64u);
+  EXPECT_NE(R.StderrTail.find("0999"), std::string::npos);
+  EXPECT_EQ(R.StderrTail.find("0000"), std::string::npos);
+}
+
+TEST(Subprocess, FaultAttemptCounterIsInheritedByChild) {
+  // The fuzz/bench harnesses call setAttempt() in the parent before
+  // each fork; a ":once" spec must see the inherited value. Without
+  // FPINT_FAULT in the environment inject() stays inert, so this
+  // checks the plumbing, not the fault itself.
+  fault::setAttempt(2);
+  TaskResult R = Subprocess::run(
+      [](int Fd) {
+        // inject() must be a no-op here (no FPINT_FAULT in the test
+        // environment) -- reaching the write proves it.
+        fault::inject("subprocess_test");
+        Subprocess::writeAll(Fd, "alive");
+        return 0;
+      },
+      quickLimits());
+  fault::setAttempt(1);
+  EXPECT_TRUE(R.ok()) << R.describe();
+  EXPECT_EQ(R.Payload, "alive");
+}
+
+} // namespace

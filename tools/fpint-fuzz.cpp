@@ -7,23 +7,34 @@
 /// \file
 /// fpint-fuzz: generates random sir modules and checks, for each, that
 /// every partitioning pipeline variant preserves the program's exact
-/// semantics (output stream, exit value, memory image) and that the
-/// timing simulator and stats subsystem agree on the dynamic
-/// instruction counts per partition. On a mismatch it shrinks the
-/// module with the delta-debugging reducer and writes a regression
-/// file for the corpus.
+/// semantics (output stream, exit value, memory image, deterministic
+/// trap) and that the timing simulator and stats subsystem agree on
+/// the dynamic instruction counts per partition.
+///
+/// Every iteration runs in a forked sandbox (support::Subprocess), so
+/// a checker crash or hang fails only that iteration: the campaign
+/// always runs to completion and the parent never aborts. Failures
+/// are triaged into buckets -- mismatches by the oracle's verdict,
+/// crashes and hangs by (signal, last oracle stage reached) -- and
+/// the first instance of each bucket is shrunk with the
+/// delta-debugging reducer and written to the regression corpus with
+/// a replay command.
 ///
 ///   fpint-fuzz --iters 500 --seed 1
 ///   fpint-fuzz --one 0x1234abcd --preset memory     # replay one module
 ///   fpint-fuzz --iters 2000 --write-repro tests/corpus/regressions
+///   fpint-fuzz --timeout-ms 2000                    # hang guard per iter
 ///
 /// The base seed defaults to $FPINT_FUZZ_SEED (then 1); every failure
 /// message prints the exact --one module seed that reproduces it.
+/// --no-sandbox runs iterations in-process (for debuggers); a crash
+/// then kills the campaign, so it is never the CI mode.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
+#include "support/Subprocess.h"
 #include "testgen/Generator.h"
 #include "testgen/Oracle.h"
 #include "testgen/Reducer.h"
@@ -34,6 +45,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,7 +66,11 @@ void usage() {
       "                       intonly\n"
       "  --write-repro DIR    where reduced repros go (default\n"
       "                       tests/corpus/regressions)\n"
-      "  --no-reduce          report mismatches without shrinking\n"
+      "  --timeout-ms N       wall-clock guard per sandboxed iteration\n"
+      "                       (default 10000; hangs become triaged repros)\n"
+      "  --no-sandbox         run iterations in-process (debugging only;\n"
+      "                       a checker crash then kills the campaign)\n"
+      "  --no-reduce          report failures without shrinking\n"
       "  --no-timing          skip the simulator cross-checks (faster)\n"
       "  --keep-going         check all iterations even after a failure\n"
       "  --emit               print each generated module (debugging)\n"
@@ -69,21 +85,232 @@ struct FuzzStats {
   uint64_t Modules = 0;
   uint64_t Skipped = 0;
   uint64_t DynInstrs = 0;
-  uint64_t Failures = 0;
+  uint64_t Mismatches = 0;
+  uint64_t Crashes = 0;
+  uint64_t Hangs = 0;
 };
-
-/// Builds the oracle predicate used both for detection and reduction.
-testgen::OracleOptions makeOracleOptions(bool CheckTiming) {
-  testgen::OracleOptions Opts;
-  Opts.CheckTiming = CheckTiming;
-  return Opts;
-}
 
 std::string sanitizeFileName(std::string S) {
   for (char &C : S)
     if (!std::isalnum(static_cast<unsigned char>(C)))
       C = '_';
   return S;
+}
+
+/// FNV-1a over \p S, rendered as 8 hex digits (bucket keys).
+std::string fnv8(const std::string &S) {
+  uint32_t H = 2166136261u;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 16777619u;
+  }
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%08x", H);
+  return Buf;
+}
+
+/// Everything the parent learns from one checked module.
+struct IterOutcome {
+  enum class Kind {
+    Pass,         ///< Oracle ran, no mismatch.
+    Skip,         ///< Baseline hit a resource limit; says nothing.
+    Mismatch,     ///< Oracle found a semantic divergence.
+    GeneratorBug, ///< Generated module failed the strict verifier.
+    Crash,        ///< Checker died on a signal (or uncaught exception).
+    Hang,         ///< Watchdog destroyed the checker.
+    SpawnFailed,  ///< fork failed; infrastructure, not a finding.
+  };
+  Kind K = Kind::SpawnFailed;
+  std::vector<std::string> Mismatches;
+  std::string SkipReason;
+  std::string LastStage; ///< Last oracle breadcrumb before death.
+  int Signal = 0;        ///< Fatal signal for Crash.
+  uint64_t DynInstrs = 0;
+  std::string Describe; ///< Human-readable sandbox verdict.
+};
+
+/// Child exit codes of the sandboxed checker (anything else, plus
+/// signals and timeouts, is classified by the parent).
+enum : int {
+  ExitPass = 0,
+  ExitMismatch = 3,
+  ExitSkip = 4,
+  ExitGeneratorBug = 5,
+};
+
+/// The checker body; runs in the sandbox child (or in-process with
+/// --no-sandbox). Streams breadcrumbs and results as prefixed lines
+/// over \p Send so a mid-flight death still leaves triage data.
+template <typename SendFn>
+int checkModule(const sir::Module &M, const testgen::OracleOptions &BaseOpts,
+                const SendFn &Send) {
+  sir::VerifyOptions Strict;
+  Strict.CheckDataflow = true;
+  std::vector<std::string> Diags = sir::verify(M, Strict);
+  if (!Diags.empty()) {
+    Send("G" + Diags.front());
+    return ExitGeneratorBug;
+  }
+
+  testgen::OracleOptions Opts = BaseOpts;
+  Opts.Progress = [&](const std::string &Stage) { Send("@" + Stage); };
+  testgen::OracleReport Report = testgen::runOracle(M, Opts);
+  Send("D" + std::to_string(Report.BaselineDynInstrs));
+  if (Report.BaselineSkipped) {
+    Send("S" + Report.BaselineError);
+    return ExitSkip;
+  }
+  for (const std::string &Msg : Report.Mismatches)
+    Send("M" + Msg);
+  return Report.Mismatches.empty() ? ExitPass : ExitMismatch;
+}
+
+/// Folds the streamed checker lines into \p Out.
+void parseCheckerLines(const std::string &Payload, IterOutcome &Out) {
+  size_t Pos = 0;
+  while (Pos < Payload.size()) {
+    size_t End = Payload.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Payload.size();
+    std::string Line = Payload.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty())
+      continue;
+    std::string Rest = Line.substr(1);
+    switch (Line[0]) {
+    case '@':
+      Out.LastStage = Rest;
+      break;
+    case 'D':
+      Out.DynInstrs = std::strtoull(Rest.c_str(), nullptr, 10);
+      break;
+    case 'S':
+      Out.SkipReason = Rest;
+      break;
+    case 'M':
+      Out.Mismatches.push_back(Rest);
+      break;
+    case 'G':
+      Out.Mismatches.push_back("generator bug: " + Rest);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+/// Checks \p M inside a forked sandbox and classifies the result.
+IterOutcome checkSandboxed(const sir::Module &M,
+                           const testgen::OracleOptions &Opts,
+                           int TimeoutMs) {
+  support::SandboxLimits Limits;
+  Limits.WallMs = TimeoutMs;
+  Limits.KillGraceMs = 300;
+  Limits.AddressSpaceMb = 4096;
+
+  support::TaskResult R = support::Subprocess::run(
+      [&](int Fd) {
+        auto Send = [Fd](const std::string &Line) {
+          support::Subprocess::writeAll(Fd, Line + "\n");
+        };
+        return checkModule(M, Opts, Send);
+      },
+      Limits);
+
+  IterOutcome Out;
+  Out.Describe = R.describe();
+  parseCheckerLines(R.Payload, Out);
+
+  using Status = support::TaskResult::Status;
+  if (R.TimedOut || R.Killed) {
+    Out.K = IterOutcome::Kind::Hang;
+  } else if (R.St == Status::Signaled) {
+    Out.K = IterOutcome::Kind::Crash;
+    Out.Signal = R.TermSignal;
+  } else if (R.St == Status::SpawnFailed) {
+    Out.K = IterOutcome::Kind::SpawnFailed;
+  } else {
+    switch (R.ExitCode) {
+    case ExitPass:
+      Out.K = IterOutcome::Kind::Pass;
+      break;
+    case ExitMismatch:
+      Out.K = IterOutcome::Kind::Mismatch;
+      break;
+    case ExitSkip:
+      Out.K = IterOutcome::Kind::Skip;
+      break;
+    case ExitGeneratorBug:
+      Out.K = IterOutcome::Kind::GeneratorBug;
+      break;
+    default:
+      // Uncaught exception (125) or other abnormal exit: triage like
+      // a crash, with the exit code in the signal slot's place.
+      Out.K = IterOutcome::Kind::Crash;
+      Out.Signal = 0;
+      break;
+    }
+  }
+  return Out;
+}
+
+/// In-process fallback (--no-sandbox): same classification, no
+/// containment.
+IterOutcome checkInProcess(const sir::Module &M,
+                           const testgen::OracleOptions &Opts) {
+  IterOutcome Out;
+  std::vector<std::string> Lines;
+  int Code = checkModule(
+      M, Opts, [&](const std::string &Line) { Lines.push_back(Line); });
+  std::string Payload;
+  for (const std::string &L : Lines)
+    Payload += L + "\n";
+  parseCheckerLines(Payload, Out);
+  Out.K = Code == ExitPass         ? IterOutcome::Kind::Pass
+          : Code == ExitMismatch   ? IterOutcome::Kind::Mismatch
+          : Code == ExitSkip       ? IterOutcome::Kind::Skip
+                                   : IterOutcome::Kind::GeneratorBug;
+  Out.Describe = "in-process";
+  return Out;
+}
+
+/// Stable bucket key for one failure: mismatches bucket on the first
+/// verdict line, crashes/hangs on (signal, last oracle stage).
+std::string bucketKey(const IterOutcome &Out) {
+  switch (Out.K) {
+  case IterOutcome::Kind::Mismatch:
+  case IterOutcome::Kind::GeneratorBug:
+    return "mismatch_" +
+           fnv8(Out.Mismatches.empty() ? "?" : Out.Mismatches.front());
+  case IterOutcome::Kind::Crash:
+    return "crash_sig" + std::to_string(Out.Signal) + "_" +
+           fnv8(Out.LastStage.empty() ? "(pre-oracle)" : Out.LastStage);
+  case IterOutcome::Kind::Hang:
+    return "hang_" +
+           fnv8(Out.LastStage.empty() ? "(pre-oracle)" : Out.LastStage);
+  default:
+    return "none";
+  }
+}
+
+const char *kindName(IterOutcome::Kind K) {
+  switch (K) {
+  case IterOutcome::Kind::Pass:
+    return "pass";
+  case IterOutcome::Kind::Skip:
+    return "skip";
+  case IterOutcome::Kind::Mismatch:
+    return "MISMATCH";
+  case IterOutcome::Kind::GeneratorBug:
+    return "GENERATOR BUG";
+  case IterOutcome::Kind::Crash:
+    return "CRASH";
+  case IterOutcome::Kind::Hang:
+    return "HANG";
+  case IterOutcome::Kind::SpawnFailed:
+    return "spawn failed";
+  }
+  return "?";
 }
 
 } // namespace
@@ -97,8 +324,9 @@ int main(int argc, char **argv) {
   uint64_t OneSeed = 0;
   std::string Preset; // Empty: cycle through all presets.
   std::string ReproDir = "tests/corpus/regressions";
-  bool Reduce = true, CheckTiming = true, KeepGoing = false, Emit = false,
-       Quiet = false;
+  int TimeoutMs = 10000;
+  bool Sandbox = true, Reduce = true, CheckTiming = true, KeepGoing = false,
+       Emit = false, Quiet = false;
 
   for (int A = 1; A < argc; ++A) {
     const char *Arg = argv[A];
@@ -120,6 +348,10 @@ int main(int argc, char **argv) {
       Preset = Value();
     else if (!std::strcmp(Arg, "--write-repro"))
       ReproDir = Value();
+    else if (!std::strcmp(Arg, "--timeout-ms"))
+      TimeoutMs = static_cast<int>(parseSeed(Value()));
+    else if (!std::strcmp(Arg, "--no-sandbox"))
+      Sandbox = false;
     else if (!std::strcmp(Arg, "--no-reduce"))
       Reduce = false;
     else if (!std::strcmp(Arg, "--no-timing"))
@@ -137,9 +369,16 @@ int main(int argc, char **argv) {
   }
 
   const std::vector<std::string> &Presets = testgen::presetNames();
-  testgen::OracleOptions OracleOpts = makeOracleOptions(CheckTiming);
+  testgen::OracleOptions OracleOpts;
+  OracleOpts.CheckTiming = CheckTiming;
   FuzzStats Stats;
+  std::map<std::string, uint64_t> Buckets;
   int Exit = 0;
+
+  auto Check = [&](const sir::Module &M) {
+    return Sandbox ? checkSandboxed(M, OracleOpts, TimeoutMs)
+                   : checkInProcess(M, OracleOpts);
+  };
 
   for (uint64_t It = 0; It < (HaveOne ? 1 : Iters); ++It) {
     uint64_t ModSeed =
@@ -154,72 +393,102 @@ int main(int argc, char **argv) {
       std::printf("# seed=0x%" PRIx64 " preset=%s\n%s\n", ModSeed,
                   PresetName.c_str(), Text.c_str());
 
-    // Generated modules must satisfy the strict verifier (this is the
-    // generator's contract; a violation is a generator bug).
-    sir::VerifyOptions Strict;
-    Strict.CheckDataflow = true;
-    std::vector<std::string> Diags = sir::verify(*M, Strict);
-    if (!Diags.empty()) {
-      std::fprintf(stderr,
-                   "GENERATOR BUG seed=0x%" PRIx64 " iter=%" PRIu64
-                   " preset=%s: %s\n",
-                   ModSeed, It, PresetName.c_str(), Diags.front().c_str());
-      ++Stats.Failures;
-      Exit = 1;
-      if (!KeepGoing)
-        break;
-      continue;
-    }
-
-    testgen::OracleReport Report = testgen::runOracle(*M, OracleOpts);
+    IterOutcome Out = Check(*M);
     ++Stats.Modules;
-    Stats.DynInstrs += Report.BaselineDynInstrs;
+    Stats.DynInstrs += Out.DynInstrs;
 
-    if (Report.BaselineSkipped) {
+    if (Out.K == IterOutcome::Kind::Pass)
+      continue;
+    if (Out.K == IterOutcome::Kind::Skip) {
       ++Stats.Skipped;
       if (!Quiet)
-        std::fprintf(stderr,
-                     "skip seed=0x%" PRIx64 " iter=%" PRIu64 ": %s\n", ModSeed,
-                     It, Report.BaselineError.c_str());
+        std::fprintf(stderr, "skip seed=0x%" PRIx64 " iter=%" PRIu64 ": %s\n",
+                     ModSeed, It, Out.SkipReason.c_str());
       continue;
     }
-    if (Report.ok())
-      continue;
+    if (Out.K == IterOutcome::Kind::SpawnFailed) {
+      std::fprintf(stderr,
+                   "fpint-fuzz: fork failed at iter %" PRIu64 "; stopping\n",
+                   It);
+      Exit = 2;
+      break;
+    }
 
-    ++Stats.Failures;
+    // A finding. Count, triage into a bucket, report.
+    switch (Out.K) {
+    case IterOutcome::Kind::Crash:
+      ++Stats.Crashes;
+      break;
+    case IterOutcome::Kind::Hang:
+      ++Stats.Hangs;
+      break;
+    default:
+      ++Stats.Mismatches;
+      break;
+    }
     Exit = 1;
+    std::string Bucket = bucketKey(Out);
+    bool FirstInBucket = Buckets[Bucket]++ == 0;
+
     std::fprintf(stderr,
-                 "MISMATCH seed=0x%" PRIx64 " iter=%" PRIu64 " preset=%s\n",
-                 ModSeed, It, PresetName.c_str());
-    for (const std::string &Msg : Report.Mismatches)
+                 "%s seed=0x%" PRIx64 " iter=%" PRIu64
+                 " preset=%s bucket=%s (%s)\n",
+                 kindName(Out.K), ModSeed, It, PresetName.c_str(),
+                 Bucket.c_str(), Out.Describe.c_str());
+    if (!Out.LastStage.empty())
+      std::fprintf(stderr, "  last oracle stage: %s\n", Out.LastStage.c_str());
+    for (const std::string &Msg : Out.Mismatches)
       std::fprintf(stderr, "  %s\n", Msg.c_str());
     std::fprintf(stderr,
                  "  reproduce: fpint-fuzz --one 0x%" PRIx64 " --preset %s\n",
                  ModSeed, PresetName.c_str());
 
-    if (Reduce) {
-      testgen::InterestingPredicate StillFails =
+    if (Reduce && FirstInBucket) {
+      // Shrink while the candidate stays in the same bucket. Crash and
+      // hang probes run sandboxed even under --no-sandbox (an
+      // in-process crash probe would kill the reducer itself); hang
+      // probes get a tightened watchdog so reduction stays bounded.
+      const IterOutcome::Kind WantKind = Out.K;
+      const int WantSignal = Out.Signal;
+      const int ProbeTimeout =
+          WantKind == IterOutcome::Kind::Hang
+              ? std::min(TimeoutMs, 1500)
+              : TimeoutMs;
+      testgen::InterestingPredicate SameBucket =
           [&](const sir::Module &Candidate) {
-            testgen::OracleReport R = testgen::runOracle(Candidate, OracleOpts);
-            return !R.BaselineSkipped && !R.Mismatches.empty();
+            IterOutcome Probe =
+                (WantKind == IterOutcome::Kind::Mismatch && !Sandbox)
+                    ? checkInProcess(Candidate, OracleOpts)
+                    : checkSandboxed(Candidate, OracleOpts, ProbeTimeout);
+            if (Probe.K != WantKind)
+              return false;
+            if (WantKind == IterOutcome::Kind::Crash)
+              return Probe.Signal == WantSignal;
+            return true;
           };
-      testgen::ReduceOutcome Reduced = testgen::reduceModule(Text, StillFails);
-      std::fprintf(stderr,
-                   "  reduced to %u instructions (%u probes)\n",
+      testgen::ReduceOutcome Reduced = testgen::reduceModule(Text, SameBucket);
+      std::fprintf(stderr, "  reduced to %u instructions (%u probes)\n",
                    Reduced.InstrCount, Reduced.Probes);
 
-      char Name[128];
-      std::snprintf(Name, sizeof(Name), "seed_0x%" PRIx64 "_%s.sir", ModSeed,
-                    sanitizeFileName(PresetName).c_str());
+      char Name[160];
+      std::snprintf(Name, sizeof(Name), "seed_0x%" PRIx64 "_%s_%s.sir",
+                    ModSeed, sanitizeFileName(PresetName).c_str(),
+                    sanitizeFileName(Bucket).c_str());
       std::string Path = ReproDir + "/" + Name;
-      std::ofstream Out(Path);
-      if (Out) {
-        Out << "# fpint-fuzz regression (auto-reduced)\n"
-            << "# seed=0x" << std::hex << ModSeed << std::dec << " preset="
-            << PresetName << "\n";
-        for (const std::string &Msg : Report.Mismatches)
-          Out << "# " << Msg << "\n";
-        Out << Reduced.Text;
+      std::ofstream OutFile(Path);
+      if (OutFile) {
+        OutFile << "# fpint-fuzz regression (auto-reduced)\n"
+                << "# kind=" << kindName(Out.K) << " bucket=" << Bucket
+                << "\n"
+                << "# seed=0x" << std::hex << ModSeed << std::dec
+                << " preset=" << PresetName << "\n"
+                << "# replay: fpint-fuzz --one 0x" << std::hex << ModSeed
+                << std::dec << " --preset " << PresetName << "\n";
+        if (!Out.LastStage.empty())
+          OutFile << "# last oracle stage: " << Out.LastStage << "\n";
+        for (const std::string &Msg : Out.Mismatches)
+          OutFile << "# " << Msg << "\n";
+        OutFile << Reduced.Text;
         std::fprintf(stderr, "  repro written to %s\n", Path.c_str());
       } else {
         std::fprintf(stderr, "  could not write %s\n", Path.c_str());
@@ -231,8 +500,12 @@ int main(int argc, char **argv) {
 
   std::printf("fpint-fuzz: %" PRIu64 " modules, %" PRIu64 " skipped, %" PRIu64
               " dynamic instructions checked, %" PRIu64
-              " mismatches (base seed 0x%" PRIx64 ")\n",
-              Stats.Modules, Stats.Skipped, Stats.DynInstrs, Stats.Failures,
-              BaseSeed);
+              " mismatches, %" PRIu64 " crashes, %" PRIu64
+              " hangs (base seed 0x%" PRIx64 ")\n",
+              Stats.Modules, Stats.Skipped, Stats.DynInstrs, Stats.Mismatches,
+              Stats.Crashes, Stats.Hangs, BaseSeed);
+  for (const auto &B : Buckets)
+    std::printf("  bucket %s: %" PRIu64 " hit(s)\n", B.first.c_str(),
+                B.second);
   return Exit;
 }
