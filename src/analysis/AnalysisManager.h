@@ -1,0 +1,221 @@
+//===- analysis/AnalysisManager.h - Cached per-function analyses ----------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lazily-computed, invalidation-aware cache of program analyses, in
+/// the shape LLVM-family pass managers use. Compilation stages used to
+/// privately rebuild CFG / ReachingDefs / RDG / Liveness for every
+/// function they touched; with the manager, a pass asks for
+///
+///   const analysis::CFG &Cfg = AM.getResult<analysis::CFGAnalysis>(F);
+///
+/// and the result is computed at most once until something invalidates
+/// it. Each analysis type is identified by a unique static key; results
+/// are cached per (function, analysis) pair. The manager records which
+/// analyses an analysis consulted while computing (ReachingDefs pulls
+/// CFG, RDG pulls both), so invalidating a dependency transitively
+/// drops its dependents even if a pass claimed to preserve them.
+///
+/// Invalidation is driven by PreservedAnalyses sets: a pass reports
+/// which analyses its IR mutations left intact, and the pass manager
+/// calls invalidate() with that set after the pass. Hit / miss /
+/// invalidation counters are kept globally and per analysis name; the
+/// pass manager snapshots them around every pass for the per-pass
+/// telemetry table.
+///
+/// Contract: cached analyses are built over renumbered functions and
+/// hold pointers into the IR, so any pass that mutates a function must
+/// not preserve that function's analyses. Module-level results (block
+/// execution weights) are keyed by the profile they were derived from
+/// and are only invalidated between passes, never by the per-function
+/// invalidateFunction() used inside a running pass -- references
+/// obtained before a loop stay valid across it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_ANALYSIS_ANALYSISMANAGER_H
+#define FPINT_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/CFG.h"
+#include "analysis/ExecutionEstimate.h"
+#include "analysis/RDG.h"
+#include "analysis/ReachingDefs.h"
+#include "sir/IR.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fpint {
+namespace analysis {
+
+/// Unique identity of one analysis type (address-of-static idiom).
+struct AnalysisKey {
+  char Tag = 0;
+};
+
+/// The set of analyses a pass left valid. Defaults to "none preserved"
+/// -- the safe claim for any pass that mutates IR.
+class PreservedAnalyses {
+public:
+  static PreservedAnalyses all() {
+    PreservedAnalyses P;
+    P.All = true;
+    return P;
+  }
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  template <typename A> PreservedAnalyses &preserve() {
+    Ids.insert(A::id());
+    return *this;
+  }
+
+  bool preservesAll() const { return All; }
+  bool isPreserved(const AnalysisKey *Id) const {
+    return All || Ids.count(Id) != 0;
+  }
+
+private:
+  bool All = false;
+  std::set<const AnalysisKey *> Ids;
+};
+
+/// Caches analysis results per function (and per module for block
+/// weights) with dependency-aware invalidation. Not thread-safe: one
+/// manager serves one compilation pipeline.
+class AnalysisManager {
+public:
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Invalidations = 0;
+  };
+
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// The cached result of analysis \p A over \p F, computing (and
+  /// caching) it on a miss. The reference stays valid until the entry
+  /// is invalidated.
+  template <typename A> const typename A::Result &getResult(const sir::Function &F) {
+    const EntryKey K{&F, A::id()};
+    if (const void *Hit = lookup(K, A::name()))
+      return *static_cast<const typename A::Result *>(Hit);
+    beginCompute(K);
+    std::unique_ptr<typename A::Result> R = A::run(F, *this);
+    const typename A::Result *Raw = R.get();
+    endCompute(K, A::name(),
+               std::shared_ptr<const void>(std::move(R)));
+    return *Raw;
+  }
+
+  /// Module-level block execution weights derived from \p Prof (which
+  /// may be null: static estimates everywhere). Cached until an
+  /// invalidation that does not preserve BlockWeightsAnalysis.
+  const BlockWeights &blockWeights(const sir::Module &M,
+                                   const vm::Profile *Prof);
+
+  /// Drops every cached entry whose analysis is not in \p PA, plus --
+  /// transitively -- everything that depended on a dropped entry. The
+  /// pass manager calls this after every pass.
+  void invalidate(const PreservedAnalyses &PA);
+
+  /// Drops every per-function entry for \p F (a pass mutated \p F
+  /// mid-run). Module-level results are deliberately kept; see the
+  /// file comment.
+  void invalidateFunction(const sir::Function &F);
+
+  /// Drops everything.
+  void clear();
+
+  Counters counters() const { return Counts; }
+  /// Per-analysis-name counters, for tests and --time-passes.
+  const std::map<std::string, Counters> &countersByAnalysis() const {
+    return ByName;
+  }
+
+private:
+  using EntryKey = std::pair<const void *, const AnalysisKey *>;
+
+  struct Entry {
+    std::shared_ptr<const void> Result;
+    std::string Name;
+    /// Entries consulted while computing this one.
+    std::vector<EntryKey> Deps;
+  };
+
+  /// Counting lookup; records a dependency edge when called from
+  /// inside another analysis' run().
+  const void *lookup(const EntryKey &K, const char *Name);
+  void beginCompute(const EntryKey &K);
+  void endCompute(const EntryKey &K, const char *Name,
+                  std::shared_ptr<const void> Result);
+  void recordDep(const EntryKey &K);
+  /// Attaches dependency edges recorded while their consumer was still
+  /// being computed (see recordDep). Called before any invalidation.
+  void flushPendingDeps();
+  /// Removes \p K and, transitively, every entry that depends on it.
+  void erase(const EntryKey &K);
+
+  std::map<EntryKey, Entry> Entries;
+  std::vector<EntryKey> Active; ///< Stack of in-flight computations.
+  /// (consumer, dependency) edges awaiting the consumer's endCompute.
+  std::vector<std::pair<EntryKey, EntryKey>> PendingDeps;
+  Counters Counts;
+  std::map<std::string, Counters> ByName;
+
+  /// Module-level block-weights cache.
+  std::unique_ptr<BlockWeights> Weights;
+  const sir::Module *WeightsModule = nullptr;
+  const vm::Profile *WeightsProfile = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Concrete analyses over sir functions.
+//===----------------------------------------------------------------------===//
+
+/// analysis::CFG of a renumbered function.
+struct CFGAnalysis {
+  using Result = CFG;
+  static const AnalysisKey *id();
+  static const char *name() { return "cfg"; }
+  static std::unique_ptr<Result> run(const sir::Function &F,
+                                     AnalysisManager &AM);
+};
+
+/// Reaching definitions (consults CFGAnalysis).
+struct ReachingDefsAnalysis {
+  using Result = ReachingDefs;
+  static const AnalysisKey *id();
+  static const char *name() { return "reaching-defs"; }
+  static std::unique_ptr<Result> run(const sir::Function &F,
+                                     AnalysisManager &AM);
+};
+
+/// The register dependence graph (consults CFG + ReachingDefs).
+struct RDGAnalysis {
+  using Result = RDG;
+  static const AnalysisKey *id();
+  static const char *name() { return "rdg"; }
+  static std::unique_ptr<Result> run(const sir::Function &F,
+                                     AnalysisManager &AM);
+};
+
+/// Identity of the module-level block-weights result, so passes can
+/// preserve or invalidate it by name like any other analysis.
+struct BlockWeightsAnalysis {
+  using Result = BlockWeights;
+  static const AnalysisKey *id();
+  static const char *name() { return "block-weights"; }
+};
+
+} // namespace analysis
+} // namespace fpint
+
+#endif // FPINT_ANALYSIS_ANALYSISMANAGER_H

@@ -30,6 +30,16 @@ void RDG::addEdge(unsigned From, unsigned To) {
 }
 
 RDG::RDG(const sir::Function &F, const CFG &Cfg) : F(F) {
+  ReachingDefs RD(F, Cfg);
+  build(RD);
+}
+
+RDG::RDG(const sir::Function &F, const CFG &, const ReachingDefs &RD)
+    : F(F) {
+  build(RD);
+}
+
+void RDG::build(const ReachingDefs &RD) {
   const unsigned NumInstrs = F.numInstrIds();
   Primary.assign(NumInstrs, ~0u);
   Address.assign(NumInstrs, ~0u);
@@ -72,7 +82,6 @@ RDG::RDG(const sir::Function &F, const CFG &Cfg) : F(F) {
   });
 
   // Wire def-use edges through the split-node mapping.
-  ReachingDefs RD(F, Cfg);
   auto ProducerNode = [&](const DefSite &DS) -> unsigned {
     if (!DS.I) {
       // Formal parameter dummy node.

@@ -60,6 +60,10 @@ struct RDGNode {
 class RDG {
 public:
   RDG(const sir::Function &F, const CFG &Cfg);
+  /// As above, but reuses a prebuilt reaching-definitions result (the
+  /// analysis manager caches both; the CFG parameter documents the
+  /// dependency and keeps the overloads symmetric).
+  RDG(const sir::Function &F, const CFG &Cfg, const ReachingDefs &RD);
 
   const sir::Function &function() const { return F; }
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
@@ -100,6 +104,7 @@ public:
   bool feedsCallOrRet(unsigned NodeId) const;
 
 private:
+  void build(const ReachingDefs &RD);
   unsigned addNode(const sir::Instruction *I, NodeKind Kind, sir::Reg Def,
                    const sir::BasicBlock *BB);
   void addEdge(unsigned From, unsigned To);

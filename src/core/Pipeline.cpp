@@ -2,6 +2,7 @@
 
 #include "core/Pipeline.h"
 
+#include "core/PassManager.h"
 #include "sir/Verifier.h"
 #include "support/FaultInject.h"
 
@@ -17,46 +18,33 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
   Run.Compiled = Original.clone();
   sir::Module &M = *Run.Compiled;
 
-  // 0. Machine-independent cleanup: the paper partitions optimized
-  // code ("after all the initial machine-independent optimizations").
-  if (Config.RunOptimizations)
-    Run.Opt = opt::optimizeModule(M);
-
-  // 1. Training profile of the unpartitioned program (the clone shares
-  // no blocks with the original, so profile the clone itself before it
-  // is rewritten).
-  vm::VM::Options ProfOpts;
-  ProfOpts.CollectProfile = true;
-  vm::VM Trainer(M, ProfOpts);
-  auto TrainResult = Trainer.run(Config.TrainArgs);
-  if (!TrainResult.Ok) {
-    // A deterministic trap (OOB access, malformed call, ...) is a
-    // property of the program, not a harness failure: the profile
-    // collected up to the trap is still a valid training profile, and
-    // the compiled program must reproduce the trap (checked below).
-    // Resource traps (fuel/stack/depth) say nothing usable.
-    if (!vm::isDeterministicTrap(TrainResult.Trap.Kind)) {
-      Run.Errors.push_back("training run failed: " + TrainResult.Error);
-      return Run;
-    }
+  // Compile side: a pass pipeline over the clone (the clone shares no
+  // blocks with the original, so the profile pass trains on the clone
+  // itself before it is rewritten). The default text reproduces the
+  // historical hard-coded flow: opt, profile, partition,
+  // fp-arg-passing, regalloc, each self-gated on Config.
+  PassManager PM(PassManager::Options::fromEnv());
+  std::string ParseError;
+  if (!PM.parse(effectivePipelineText(Config), ParseError)) {
+    Run.Errors.push_back("pipeline: " + ParseError);
+    return Run;
   }
 
-  // 2. Partition.
-  Run.Rewrite = partition::partitionModule(M, Config.Scheme,
-                                           &Trainer.profile(), Config.Costs);
-  for (const std::string &E : Run.Rewrite.Errors)
-    Run.Errors.push_back("partition: " + E);
+  analysis::AnalysisManager AM;
+  PassState State;
+  State.Config = &Run.Config;
+  Run.PassStats = PM.run(M, AM, State);
 
-  // 2b. Optional Section 6.6 interprocedural extension.
-  if (Config.EnableFpArgPassing && Config.Scheme == partition::Scheme::Advanced)
-    Run.FpArgs = partition::passArgsInFpRegisters(M, Run.Rewrite);
-
-  // 3. Register allocation.
-  if (Config.RunRegisterAllocation) {
-    Run.Alloc = regalloc::allocateModule(M);
-    for (const std::string &E : Run.Alloc.Errors)
-      Run.Errors.push_back("regalloc: " + E);
-  }
+  Run.Opt = State.Opt;
+  Run.Rewrite = std::move(State.Rewrite);
+  Run.FpArgs = State.FpArgs;
+  Run.Alloc = std::move(State.Alloc);
+  Run.Errors.insert(Run.Errors.end(), State.Errors.begin(),
+                    State.Errors.end());
+  // A fatal pass (training failure, verify-each corruption) aborts
+  // before the final verify, like the legacy early return did.
+  if (State.Fatal)
+    return Run;
 
   for (const std::string &E : sir::verify(M))
     Run.Errors.push_back("verify: " + E);

@@ -54,6 +54,24 @@ struct PipelineConfig {
   /// Run the machine-independent optimizer before profiling and
   /// partitioning (the paper partitions after "-O3"-level cleanup).
   bool RunOptimizations = true;
+  /// Pipeline text overriding the default pass sequence (see
+  /// core/PassManager.h). Empty means: use $FPINT_PASSES if set, else
+  /// the default text, which reproduces the historical flow exactly.
+  /// A non-empty value becomes part of the run cache key.
+  std::string Passes;
+};
+
+/// Per-pass boundary telemetry, one row per executed pass. Flows into
+/// PipelineRun, stats::RunRecord, and the bench_out JSON "passes"
+/// section; deterministic fields (Changes, cache counters) are diffed
+/// by fpint-report, WallMs is informational.
+struct PassStat {
+  std::string Name;
+  double WallMs = 0.0;
+  unsigned Changes = 0;
+  uint64_t AnalysisHits = 0;
+  uint64_t AnalysisMisses = 0;
+  uint64_t AnalysisInvalidations = 0;
 };
 
 /// Lazily captured dynamic trace of a compiled module on the ref
@@ -86,6 +104,8 @@ struct PipelineRun {
   bool OutputsMatchOriginal = false;
   std::vector<std::string> Errors;
   PipelineConfig Config;
+  /// Per-pass telemetry from the compile pipeline, in execution order.
+  std::vector<PassStat> PassStats;
 
   /// Cached ref-input trace (set by compileAndMeasure; shared so that
   /// moving the run keeps the handle stable). TraceEntry values point

@@ -47,6 +47,13 @@ std::string RunCache::runKey(const std::string &ModuleName,
   Key += Config.RunRegisterAllocation ? '1' : '0';
   Key += Config.EnableFpArgPassing ? '1' : '0';
   Key += Config.RunOptimizations ? '1' : '0';
+  // An explicit pipeline override compiles different code, so it must
+  // key separately; the empty default is omitted to keep every
+  // historical key (and the golden run ids derived from it) stable.
+  if (!Config.Passes.empty()) {
+    Key += '|';
+    Key += Config.Passes;
+  }
   return Key;
 }
 

@@ -2,6 +2,7 @@
 
 #include "opt/Passes.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -325,19 +326,28 @@ unsigned opt::eliminateDeadCode(Function &F) {
   return Removed;
 }
 
-OptReport opt::optimizeModule(sir::Module &M) {
+OptReport opt::optimizeModule(sir::Module &M, const OptOptions &Opts) {
   OptReport Report;
+  const unsigned Cap = std::max(1u, Opts.MaxRounds);
   for (const auto &F : M.functions()) {
-    for (int Round = 0; Round < 4; ++Round) {
+    unsigned Rounds = 0;
+    bool LastRoundChanged = false;
+    for (unsigned Round = 0; Round < Cap; ++Round) {
       unsigned Before = Report.total();
       Report.CopiesPropagated += propagateCopies(*F);
       Report.ConstantsFolded += foldConstants(*F);
       Report.SubexpressionsEliminated +=
           eliminateCommonSubexpressions(*F);
       Report.DeadInstructionsRemoved += eliminateDeadCode(*F);
-      if (Report.total() == Before)
+      ++Rounds;
+      LastRoundChanged = Report.total() != Before;
+      if (!LastRoundChanged)
         break;
     }
+    Report.TotalRounds += Rounds;
+    Report.MaxFunctionRounds = std::max(Report.MaxFunctionRounds, Rounds);
+    if (LastRoundChanged)
+      ++Report.FunctionsHitCap; // Cut off before a proven fixpoint.
   }
   M.renumber();
   return Report;

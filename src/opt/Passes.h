@@ -52,12 +52,23 @@ unsigned eliminateCommonSubexpressions(sir::Function &F);
 /// Returns instructions deleted.
 unsigned eliminateDeadCode(sir::Function &F);
 
-/// Aggregate change counts from optimizeModule.
+/// Aggregate change counts and convergence telemetry from
+/// optimizeModule.
 struct OptReport {
   unsigned CopiesPropagated = 0;
   unsigned ConstantsFolded = 0;
   unsigned SubexpressionsEliminated = 0;
   unsigned DeadInstructionsRemoved = 0;
+
+  /// Fixpoint-iteration telemetry: total rounds executed across all
+  /// functions, the largest per-function round count (the module's
+  /// iterations-to-convergence), and how many functions were cut off
+  /// by the round cap before reaching a fixpoint.
+  unsigned TotalRounds = 0;
+  unsigned MaxFunctionRounds = 0;
+  unsigned FunctionsHitCap = 0;
+
+  bool converged() const { return FunctionsHitCap == 0; }
 
   unsigned total() const {
     return CopiesPropagated + ConstantsFolded + SubexpressionsEliminated +
@@ -65,9 +76,18 @@ struct OptReport {
   }
 };
 
-/// Runs all passes over every function to a fixpoint (bounded rounds)
-/// and renumbers the module.
-OptReport optimizeModule(sir::Module &M);
+/// Knobs for optimizeModule.
+struct OptOptions {
+  /// Hard cap on fixpoint rounds per function. A pathological module
+  /// must terminate here instead of spinning; a cap hit is recorded in
+  /// OptReport::FunctionsHitCap, never an error (the IR is correct
+  /// after any prefix of rounds, just less optimized).
+  unsigned MaxRounds = 4;
+};
+
+/// Runs all passes over every function to a fixpoint (capped at
+/// Opts.MaxRounds rounds per function) and renumbers the module.
+OptReport optimizeModule(sir::Module &M, const OptOptions &Opts = OptOptions());
 
 } // namespace opt
 } // namespace fpint

@@ -14,9 +14,11 @@
 #ifndef FPINT_REGALLOC_LIVENESS_H
 #define FPINT_REGALLOC_LIVENESS_H
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CFG.h"
 #include "sir/IR.h"
 
+#include <memory>
 #include <vector>
 
 namespace fpint {
@@ -44,6 +46,17 @@ public:
 private:
   std::vector<std::vector<bool>> In;
   std::vector<std::vector<bool>> Out;
+};
+
+/// AnalysisManager adapter for Liveness (consults CFGAnalysis). Lives
+/// here rather than in analysis/ because liveness is a regalloc-layer
+/// concern and the analysis library must not depend upward.
+struct LivenessAnalysis {
+  using Result = Liveness;
+  static const analysis::AnalysisKey *id();
+  static const char *name() { return "liveness"; }
+  static std::unique_ptr<Result> run(const sir::Function &F,
+                                     analysis::AnalysisManager &AM);
 };
 
 } // namespace regalloc

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 
 using namespace fpint;
 using namespace fpint::regalloc;
@@ -34,7 +35,9 @@ struct Interval {
 
 class FuncAllocator {
 public:
-  FuncAllocator(sir::Function &F, ModuleAlloc &Out) : F(F), Out(Out) {}
+  FuncAllocator(sir::Function &F, ModuleAlloc &Out,
+                analysis::AnalysisManager *AM)
+      : F(F), Out(Out), AM(AM) {}
 
   bool run(std::string &Error);
 
@@ -50,6 +53,7 @@ private:
 
   sir::Function &F;
   ModuleAlloc &Out;
+  analysis::AnalysisManager *AM; ///< Optional shared analysis cache.
   FuncAlloc Result;
 
   // Architectural vregs, created lazily per (class, index).
@@ -143,8 +147,24 @@ void FuncAllocator::lowerCallingConvention() {
 }
 
 void FuncAllocator::buildIntervals() {
-  analysis::CFG Cfg(F);
-  Liveness Live(F, Cfg);
+  // Calling-convention lowering just mutated F, so any cached analyses
+  // are stale; the caller invalidated them, making these fetches clean
+  // misses over the lowered IR (with Liveness reusing the CFG).
+  std::unique_ptr<analysis::CFG> LocalCfg;
+  std::unique_ptr<Liveness> LocalLive;
+  const analysis::CFG *CfgP;
+  const Liveness *LiveP;
+  if (AM) {
+    CfgP = &AM->getResult<analysis::CFGAnalysis>(F);
+    LiveP = &AM->getResult<LivenessAnalysis>(F);
+  } else {
+    LocalCfg = std::make_unique<analysis::CFG>(F);
+    LocalLive = std::make_unique<Liveness>(F, *LocalCfg);
+    CfgP = LocalCfg.get();
+    LiveP = LocalLive.get();
+  }
+  const analysis::CFG &Cfg = *CfgP;
+  const Liveness &Live = *LiveP;
 
   IsPrecolored.assign(F.numRegs(), false);
   for (const auto &[Key, R] : ArchRegs)
@@ -514,13 +534,22 @@ unsigned ModuleAlloc::archIndexOf(const sir::Function *F, Reg R) const {
   return Idx;
 }
 
-ModuleAlloc regalloc::allocateModule(sir::Module &M) {
+ModuleAlloc regalloc::allocateModule(sir::Module &M,
+                                     analysis::AnalysisManager *AM) {
   ModuleAlloc Result;
   for (const auto &F : M.functions()) {
     std::string Error;
-    FuncAllocator Alloc(*F, Result);
+    // Lowering and rewriting mutate F around the analysis fetches, so
+    // bracket each function with invalidations: stale entries from
+    // earlier passes are dropped going in, and the allocator's own
+    // CFG / liveness results are dropped going out.
+    if (AM)
+      AM->invalidateFunction(*F);
+    FuncAllocator Alloc(*F, Result, AM);
     if (!Alloc.run(Error))
       Result.Errors.push_back(Error);
+    if (AM)
+      AM->invalidateFunction(*F);
   }
   return Result;
 }

@@ -29,6 +29,7 @@
 #ifndef FPINT_REGALLOC_REGALLOC_H
 #define FPINT_REGALLOC_REGALLOC_H
 
+#include "analysis/AnalysisManager.h"
 #include "sir/IR.h"
 
 #include <string>
@@ -74,7 +75,11 @@ struct ModuleAlloc {
 
 /// Allocates every function of \p M in place. The module must verify
 /// cleanly; functions may have at most ArchLayout::NumArgRegs formals.
-ModuleAlloc allocateModule(sir::Module &M);
+/// When \p AM is non-null the per-function CFG and liveness are fetched
+/// through it; each function's cached analyses are invalidated around
+/// its allocation (the allocator rewrites the IR).
+ModuleAlloc allocateModule(sir::Module &M,
+                           analysis::AnalysisManager *AM = nullptr);
 
 } // namespace regalloc
 } // namespace fpint

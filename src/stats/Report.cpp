@@ -82,6 +82,22 @@ Value stats::pipelineConfigToJson(const core::PipelineConfig &C) {
   V.set("run_register_allocation", C.RunRegisterAllocation);
   V.set("enable_fp_arg_passing", C.EnableFpArgPassing);
   V.set("run_optimizations", C.RunOptimizations);
+  V.set("passes", C.Passes); // Explicit pipeline override ("" = default).
+  return V;
+}
+
+Value stats::passStatsToJson(const std::vector<core::PassStat> &Passes) {
+  Value V = Value::array();
+  for (const core::PassStat &P : Passes) {
+    Value Row = Value::object();
+    Row.set("name", P.Name);
+    Row.set("wall_ms", P.WallMs);
+    Row.set("changes", P.Changes);
+    Row.set("analysis_hits", P.AnalysisHits);
+    Row.set("analysis_misses", P.AnalysisMisses);
+    Row.set("analysis_invalidations", P.AnalysisInvalidations);
+    V.push(std::move(Row));
+  }
   return V;
 }
 
@@ -231,6 +247,42 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
       addDelta("instructions", BIns, CIns, false);
       R.Problems.push_back("dynamic instruction count changed for " + Id +
                            " (compiler behaviour change)");
+    }
+
+    // Per-pass compile telemetry: for a fixed pipeline the change
+    // counts and analysis cache counters are deterministic, so any
+    // drift is a compile-side behaviour change. Baselines predating
+    // the "passes" array are skipped; wall_ms is informational and
+    // never compared.
+    const Value *BP = BaseRun.find("passes");
+    const Value *CP = CurRun->find("passes");
+    if (BP && BP->isArray() && CP && CP->isArray()) {
+      if (BP->items().size() != CP->items().size()) {
+        R.Problems.push_back("pass pipeline shape changed for " + Id);
+      } else {
+        for (size_t I = 0; I < BP->items().size(); ++I) {
+          const Value &BRow = BP->items()[I];
+          const Value &CRow = CP->items()[I];
+          const std::string BName = BRow.strOr("name", "");
+          if (BName != CRow.strOr("name", "")) {
+            R.Problems.push_back("pass order changed for " + Id + ": '" +
+                                 BName + "' vs '" + CRow.strOr("name", "") +
+                                 "'");
+            continue;
+          }
+          for (const char *Metric :
+               {"changes", "analysis_hits", "analysis_misses",
+                "analysis_invalidations"}) {
+            double BV = BRow.numberOr(Metric, 0);
+            double CV = CRow.numberOr(Metric, 0);
+            if (BV != CV)
+              R.Problems.push_back(
+                  "pass '" + BName + "' " + Metric + " changed for " + Id +
+                  " (" + std::to_string(static_cast<long long>(BV)) +
+                  " -> " + std::to_string(static_cast<long long>(CV)) + ")");
+          }
+        }
+      }
     }
   }
   return R;

@@ -48,6 +48,9 @@ json::Value pipelineConfigToJson(const core::PipelineConfig &C);
 /// Includes a "telemetry" sub-object iff \p S carries a breakdown.
 json::Value simStatsToJson(const timing::SimStats &S);
 json::Value breakdownToJson(const StallBreakdown &B);
+/// The per-pass compile telemetry table ("passes" array of a run):
+/// name, wall ms, change count, and analysis cache counters per pass.
+json::Value passStatsToJson(const std::vector<core::PassStat> &Passes);
 
 /// The stable run identity used as the diff key:
 ///   <workload>/<scheme>/<machine-name>#<first 8 hex of fnv1a64(keys)>.

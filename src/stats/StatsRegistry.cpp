@@ -12,7 +12,8 @@ void StatsRegistry::record(const std::string &Workload,
                            const core::PipelineConfig &Pipeline,
                            const timing::MachineConfig &Machine,
                            const timing::SimStats &Stats,
-                           vm::TrapKind Trap) {
+                           vm::TrapKind Trap,
+                           std::vector<core::PassStat> Passes) {
   RunRecord R;
   R.Id = runId(Workload, Pipeline, Machine);
   R.Workload = Workload;
@@ -20,6 +21,7 @@ void StatsRegistry::record(const std::string &Workload,
   R.Machine = Machine;
   R.Stats = Stats;
   R.Trap = Trap;
+  R.Passes = std::move(Passes);
   std::lock_guard<std::mutex> Lock(Mu);
   Records.emplace(R.Id, std::move(R)); // First record per id wins.
 }
@@ -45,6 +47,8 @@ json::Value StatsRegistry::reportJson(const std::string &BinaryName) const {
     Run.set("machine", machineToJson(R.Machine));
     Run.set("pipeline", pipelineConfigToJson(R.Pipeline));
     Run.set("stats", simStatsToJson(R.Stats));
+    if (!R.Passes.empty())
+      Run.set("passes", passStatsToJson(R.Passes));
     Runs.push(std::move(Run));
   }
   Doc.set("runs", std::move(Runs));

@@ -41,6 +41,9 @@ struct RunRecord {
   /// Trap of the run's functional ref execution (TrapKind::None for a
   /// clean run); emitted as the record's "trap" field.
   vm::TrapKind Trap = vm::TrapKind::None;
+  /// Per-pass compile telemetry of the run (emitted as the record's
+  /// "passes" array; empty when the harness did not capture it).
+  std::vector<core::PassStat> Passes;
 };
 
 class StatsRegistry {
@@ -55,7 +58,8 @@ public:
               const core::PipelineConfig &Pipeline,
               const timing::MachineConfig &Machine,
               const timing::SimStats &Stats,
-              vm::TrapKind Trap = vm::TrapKind::None);
+              vm::TrapKind Trap = vm::TrapKind::None,
+              std::vector<core::PassStat> Passes = {});
 
   size_t numRecords() const;
 

@@ -32,6 +32,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/PassManager.h"
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
 #include "support/Subprocess.h"
@@ -72,6 +73,9 @@ void usage() {
       "                       a checker crash then kills the campaign)\n"
       "  --no-reduce          report failures without shrinking\n"
       "  --no-timing          skip the simulator cross-checks (faster)\n"
+      "  --passes TEXT        add a variant compiling with the given pass\n"
+      "                       pipeline text (repeatable; see docs/PASSES.md;\n"
+      "                       checked against the unpartitioned baseline)\n"
       "  --keep-going         check all iterations even after a failure\n"
       "  --emit               print each generated module (debugging)\n"
       "  --quiet              only print failures and the final summary\n");
@@ -323,6 +327,7 @@ int main(int argc, char **argv) {
   bool HaveOne = false;
   uint64_t OneSeed = 0;
   std::string Preset; // Empty: cycle through all presets.
+  std::vector<std::string> PassTexts; // Extra --passes variants.
   std::string ReproDir = "tests/corpus/regressions";
   int TimeoutMs = 10000;
   bool Sandbox = true, Reduce = true, CheckTiming = true, KeepGoing = false,
@@ -356,6 +361,8 @@ int main(int argc, char **argv) {
       Reduce = false;
     else if (!std::strcmp(Arg, "--no-timing"))
       CheckTiming = false;
+    else if (!std::strcmp(Arg, "--passes"))
+      PassTexts.push_back(Value());
     else if (!std::strcmp(Arg, "--keep-going"))
       KeepGoing = true;
     else if (!std::strcmp(Arg, "--emit"))
@@ -371,6 +378,28 @@ int main(int argc, char **argv) {
   const std::vector<std::string> &Presets = testgen::presetNames();
   testgen::OracleOptions OracleOpts;
   OracleOpts.CheckTiming = CheckTiming;
+  for (const std::string &Text : PassTexts) {
+    // Reject malformed text up front instead of once per iteration.
+    std::vector<std::unique_ptr<core::ModulePass>> Parsed;
+    std::string ParseError;
+    if (!core::parsePipeline(Text, Parsed, ParseError)) {
+      std::fprintf(stderr, "fpint-fuzz: bad --passes: %s\n",
+                   ParseError.c_str());
+      return 2;
+    }
+    testgen::VariantSpec V;
+    V.Name = "passes:" + Text;
+    V.Config.Passes = Text;
+    // The gated built-ins honor the config: advanced partitioning for
+    // the generic "partition" name, and register allocation (plus the
+    // oracle's timing cross-check) only when the text allocates.
+    V.Config.Scheme = partition::Scheme::Advanced;
+    V.Config.RunRegisterAllocation =
+        Text.find("regalloc") != std::string::npos;
+    V.Config.EnableFpArgPassing =
+        Text.find("fp-arg-passing") != std::string::npos;
+    OracleOpts.Variants.push_back(std::move(V));
+  }
   FuzzStats Stats;
   std::map<std::string, uint64_t> Buckets;
   int Exit = 0;

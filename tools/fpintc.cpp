@@ -20,12 +20,14 @@
 
 #include "analysis/CFG.h"
 #include "analysis/RDG.h"
+#include "core/PassManager.h"
 #include "core/Pipeline.h"
 #include "partition/AdvancedPartitioner.h"
 #include "partition/BasicPartitioner.h"
 #include "partition/DotExport.h"
 #include "sir/Parser.h"
 #include "sir/Printer.h"
+#include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -58,6 +60,9 @@ void usage() {
       "  --no-regalloc        stop before register allocation\n"
       "  --args=a,b           main() arguments for measurement runs\n"
       "  --train-args=a,b     main() arguments for the profiling run\n"
+      "  --passes=TEXT        explicit pass pipeline (comma-separated\n"
+      "                       names, fixpoint(...) combinator; see\n"
+      "                       docs/PASSES.md; overrides $FPINT_PASSES)\n"
       "\n"
       "outputs:\n"
       "  --print              partitioned assembly\n"
@@ -65,7 +70,10 @@ void usage() {
       "  --run                execute and print the output stream\n"
       "  --stats              partition statistics (Figure 8 metrics)\n"
       "  --simulate=M         cycle simulation: 4way | 8way (Figure 9/10)\n"
-      "  --trace=N            dump the first N dynamic trace entries\n");
+      "  --trace=N            dump the first N dynamic trace entries\n"
+      "  --print-after=PASS   dump the module after PASS to stderr\n"
+      "  --time-passes        per-pass wall-clock / change / analysis-\n"
+      "                       cache table to stderr\n");
 }
 
 bool parseIntList(const std::string &Text, std::vector<int32_t> &Out) {
@@ -96,8 +104,9 @@ int main(int argc, char **argv) {
   partition::Scheme Scheme = partition::Scheme::Advanced;
   partition::CostParams Costs;
   bool DoPrint = false, DoRun = false, DoStats = false, RegAlloc = true;
+  bool TimePasses = false;
   unsigned TraceCount = 0;
-  std::string DotFunc, SimMachine;
+  std::string DotFunc, SimMachine, Passes, PrintAfter;
   std::vector<int32_t> Args, TrainArgs;
   bool TrainArgsSet = false;
 
@@ -121,6 +130,8 @@ int main(int argc, char **argv) {
       DoStats = true;
     } else if (Arg == "--no-regalloc") {
       RegAlloc = false;
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
     } else if (const char *V = Value("--scheme=")) {
       if (!std::strcmp(V, "none"))
         Scheme = partition::Scheme::None;
@@ -138,6 +149,10 @@ int main(int argc, char **argv) {
       Costs.DupOverhead = std::atof(V);
     } else if (const char *V = Value("--fpa-cap=")) {
       Costs.FpaShareCap = std::atof(V);
+    } else if (const char *V = Value("--passes=")) {
+      Passes = V;
+    } else if (const char *V = Value("--print-after=")) {
+      PrintAfter = V;
     } else if (const char *V = Value("--dot=")) {
       DotFunc = V;
     } else if (const char *V = Value("--simulate=")) {
@@ -228,7 +243,29 @@ int main(int argc, char **argv) {
   Cfg.TrainArgs = TrainArgs;
   Cfg.RefArgs = Args;
   Cfg.RunRegisterAllocation = RegAlloc;
+  if (!Passes.empty()) {
+    // Validate up front for a friendly diagnostic; compileAndMeasure
+    // re-parses the same text.
+    std::vector<std::unique_ptr<core::ModulePass>> Parsed;
+    std::string ParseError;
+    if (!core::parsePipeline(Passes, Parsed, ParseError)) {
+      std::fprintf(stderr, "fpintc: bad --passes: %s\n", ParseError.c_str());
+      return 2;
+    }
+    Cfg.Passes = Passes;
+  }
+  if (!PrintAfter.empty())
+    setenv("FPINT_PRINT_AFTER", PrintAfter.c_str(), 1);
   core::PipelineRun Run = core::compileAndMeasure(*M, Cfg);
+  if (TimePasses) {
+    Table T({"pass", "wall ms", "changes", "analysis hit/miss/inval"});
+    for (const core::PassStat &P : Run.PassStats)
+      T.addRow({P.Name, Table::fmt(P.WallMs, 3), std::to_string(P.Changes),
+                Table::num(P.AnalysisHits) + "/" +
+                    Table::num(P.AnalysisMisses) + "/" +
+                    Table::num(P.AnalysisInvalidations)});
+    T.print(stderr);
+  }
   if (!Run.ok()) {
     for (const std::string &E : Run.Errors)
       std::fprintf(stderr, "fpintc: error: %s\n", E.c_str());
