@@ -111,6 +111,15 @@ const std::vector<vm::TraceEntry> &PipelineRun::refTrace() const {
   return Trace->Entries;
 }
 
+const timing::PackedTrace &PipelineRun::packedTrace() const {
+  assert(Trace && "run was not produced by compileAndMeasure");
+  std::call_once(Trace->PackedOnce, [this] {
+    Trace->Packed = std::make_shared<const timing::PackedTrace>(
+        timing::PackedTrace::build(refTrace(), Alloc));
+  });
+  return *Trace->Packed;
+}
+
 timing::SimStats core::simulate(const PipelineRun &Run,
                                 const timing::MachineConfig &Machine) {
   support::fault::inject("simulate");
@@ -119,13 +128,18 @@ timing::SimStats core::simulate(const PipelineRun &Run,
          "timing simulation needs register-allocated code");
   // Replay the cached ref-input trace: the dynamic instruction stream
   // depends only on the compiled module and ref args, never on the
-  // machine configuration, so one capture serves every machine.
+  // machine configuration, so one capture -- and one packed decode --
+  // serves every machine.
   timing::Simulator Sim(Machine, Run.Alloc);
+  auto RunOnce = [&]() -> timing::SimStats {
+    return Sim.fastPath() ? Sim.run(Run.packedTrace())
+                          : Sim.run(Run.refTrace());
+  };
   if (!stats::telemetryEnabled())
-    return Sim.run(Run.refTrace());
+    return RunOnce();
   auto Breakdown = std::make_shared<stats::StallBreakdown>();
   Sim.setEventSink(Breakdown.get());
-  timing::SimStats Stats = Sim.run(Run.refTrace());
+  timing::SimStats Stats = RunOnce();
   Stats.Telemetry = std::move(Breakdown);
   return Stats;
 }

@@ -87,6 +87,12 @@ struct TraceHandle {
   /// Number of VM executions performed to fill this handle (0 until
   /// the first refTrace() call, 1 after; never more).
   unsigned Captures = 0;
+
+  /// Packed SoA decode of Entries for the simulator fast path, built
+  /// at most once per module (like the entries themselves) and shared
+  /// by every machine sweep. Same thread-safety story as Once.
+  std::once_flag PackedOnce;
+  std::shared_ptr<const timing::PackedTrace> Packed;
 };
 
 /// A compiled (partitioned + allocated) program with its measurements.
@@ -117,6 +123,11 @@ struct PipelineRun {
   /// The ref-input dynamic trace, captured on first use and replayed
   /// thereafter. Requires ok() and register-allocated code.
   const std::vector<vm::TraceEntry> &refTrace() const;
+
+  /// The packed SoA decode of refTrace() (machine-independent, like
+  /// the trace itself), built on first use and reused across every
+  /// MachineConfig. Requires ok() and register-allocated code.
+  const timing::PackedTrace &packedTrace() const;
 };
 
 /// Compiles \p Original per \p Config and measures it functionally.

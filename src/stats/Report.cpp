@@ -148,6 +148,17 @@ Value stats::simStatsToJson(const timing::SimStats &S) {
   V.set("fp_busy_cycles", S.FpBusyCycles);
   V.set("int_idle_fp_busy_cycles", S.IntIdleFpBusyCycles);
   V.set("int_idle_while_fp_busy", S.intIdleWhileFpBusy());
+  // Informational throughput figures: never gated by diffReports or
+  // fpint-report (wall time is machine/load dependent).
+  V.set("sim_wall_ms", S.SimWallMs);
+  V.set("sim_cycles_per_sec", S.cyclesPerSecond());
+  if (S.Sampled) {
+    // Sampled (extrapolated) statistics are clearly marked and must
+    // never feed golden/figure paths.
+    V.set("sampled", true);
+    V.set("sampled_instructions", S.SampledInstructions);
+    V.set("sampled_cycles", S.SampledCycles);
+  }
   if (S.Telemetry)
     V.set("telemetry", breakdownToJson(*S.Telemetry));
   return V;
@@ -240,6 +251,16 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
     double BIpc = BS->numberOr("ipc", 0);
     double CIpc = CS->numberOr("ipc", 0);
     addDelta("ipc", BIpc, CIpc, CIpc < BIpc * (1.0 - Tol));
+
+    // Simulator wall time: informational trend only. Baselines
+    // predating the field (or runs too fast to time) are skipped; a
+    // slower simulator is never a report regression.
+    double BWall = BS->numberOr("sim_wall_ms", 0);
+    double CWall = CS->numberOr("sim_wall_ms", 0);
+    if (BWall > 0 && CWall > 0) {
+      addDelta("sim_wall_ms", BWall, CWall, false);
+      R.Deltas.back().Informational = true;
+    }
 
     double BIns = BS->numberOr("instructions", 0);
     double CIns = CS->numberOr("instructions", 0);

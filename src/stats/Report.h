@@ -71,10 +71,13 @@ struct DiffOptions {
 /// One compared metric of one run.
 struct MetricDelta {
   std::string RunId;
-  std::string Metric; ///< "cycles", "ipc", or "instructions".
+  std::string Metric; ///< "cycles", "ipc", "instructions", "sim_wall_ms".
   double Base = 0, Current = 0;
   double DeltaPct = 0; ///< (Current - Base) / Base * 100.
   bool Regression = false;
+  /// Informational metrics (simulator wall time) are surfaced for
+  /// trend-watching but can never regress, whatever the delta.
+  bool Informational = false;
 };
 
 struct DiffResult {

@@ -221,11 +221,47 @@ private:
   }
 
   /// The timing simulator must retire exactly the traced instructions,
-  /// and its INT/FP issue split must match the partition bits.
+  /// and its INT/FP issue split must match the partition bits. Both
+  /// cycle loops run -- the fast path is differentially checked against
+  /// the reference loop on every oracle iteration.
   void crossCheckTiming(const std::string &Name, const core::PipelineRun &Run,
                         const std::vector<vm::TraceEntry> &Trace) {
     timing::Simulator Sim(Opts.Machine, Run.Alloc);
-    timing::SimStats Stats = Sim.run(Trace);
+    // The invariants below assume every instruction was simulated;
+    // sampled (extrapolated) stats would break them by construction.
+    Sim.setSampling({});
+
+    timing::SimStats Stats, FastStats;
+    try {
+      Sim.setFastPath(false);
+      Stats = Sim.run(Trace);
+      Sim.setFastPath(true);
+      FastStats = Sim.run(Trace);
+    } catch (const timing::SimulationOverrun &O) {
+      mismatch(Name, std::string("simulator overrun: ") + O.what());
+      return;
+    }
+
+    auto CheckEq = [&](const char *What, uint64_t Ref, uint64_t Fast) {
+      if (Ref != Fast)
+        mismatch(Name, std::string("fast-path simulator diverges on ") + What +
+                           ": reference " + std::to_string(Ref) + ", fast " +
+                           std::to_string(Fast));
+    };
+    CheckEq("cycles", Stats.Cycles, FastStats.Cycles);
+    CheckEq("instructions", Stats.Instructions, FastStats.Instructions);
+    CheckEq("int_issued", Stats.IntIssued, FastStats.IntIssued);
+    CheckEq("fp_issued", Stats.FpIssued, FastStats.FpIssued);
+    CheckEq("cond_branches", Stats.CondBranches, FastStats.CondBranches);
+    CheckEq("mispredicts", Stats.Mispredicts, FastStats.Mispredicts);
+    CheckEq("loads", Stats.Loads, FastStats.Loads);
+    CheckEq("stores", Stats.Stores, FastStats.Stores);
+    CheckEq("dcache_misses", Stats.DCacheMisses, FastStats.DCacheMisses);
+    CheckEq("icache_misses", Stats.ICacheMisses, FastStats.ICacheMisses);
+    CheckEq("store_forwards", Stats.StoreForwards, FastStats.StoreForwards);
+    CheckEq("fp_busy_cycles", Stats.FpBusyCycles, FastStats.FpBusyCycles);
+    CheckEq("int_idle_fp_busy_cycles", Stats.IntIdleFpBusyCycles,
+            FastStats.IntIdleFpBusyCycles);
 
     uint64_t FpSide = 0;
     for (const vm::TraceEntry &TE : Trace)

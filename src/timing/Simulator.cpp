@@ -1,8 +1,31 @@
 //===- timing/Simulator.cpp - Cycle-level out-of-order simulator ----------===//
+//
+// Two implementations of the same machine live here (see Simulator.h):
+//
+//  * runReference -- the original cycle loop over vm::TraceEntry
+//    vectors, kept deliberately simple; it is the differential oracle
+//    for the fast path (FPINT_SIM_FAST=0, fpint-fuzz cross-check).
+//  * runFastRange -- the packed fast path: pre-decoded PackedOp records,
+//    one dense seq-indexed ring holding every in-flight instruction
+//    (wakeup scoreboard included), incremental window occupancy
+//    counters, and event-driven idle-cycle skipping.
+//
+// The fast path is cycle-exact with respect to the reference loop: all
+// SimStats counters and (with a sink attached) every CycleEvent are
+// identical. Any behavioural change must be made to both loops;
+// tests/SimulatorTest.cpp and the fuzz oracle race them.
+//
+//===----------------------------------------------------------------------===//
 
 #include "timing/Simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,7 +42,8 @@ namespace {
 
 constexpr uint64_t NeverCycle = ~0ULL;
 
-/// Pre-decoded static information about one instruction.
+/// Pre-decoded static information about one instruction (reference
+/// loop; the fast path uses timing::PackedOp instead).
 struct InstrInfo {
   ExecClass Class = ExecClass::IntAlu;
   unsigned Latency = 1;
@@ -39,7 +63,7 @@ struct InstrInfo {
   unsigned NumUses = 0;
 };
 
-/// One in-flight instruction.
+/// One in-flight instruction (reference loop).
 struct RobEntry {
   const TraceEntry *TE = nullptr;
   const InstrInfo *Info = nullptr;
@@ -54,40 +78,180 @@ struct RobEntry {
   uint64_t ProducerSeq[4] = {0, 0, 0, 0};
 };
 
+/// One slot of the fast path's in-flight ring. A slot is (re)initialized
+/// at fetch and is live while its sequence number is in
+/// [RetireSeq, NextSeq); the DoneCycle field doubles as the wakeup
+/// scoreboard the reference loop keeps in the DoneAt map.
+struct FastEntry {
+  const PackedOp *Op = nullptr;
+  uint32_t Idx = 0; ///< Dynamic-instruction index (MemAddr/Taken arrays).
+  uint64_t FetchCycle = 0;
+  uint64_t DoneCycle = NeverCycle;
+  uint64_t ProducerSeq[4] = {0, 0, 0, 0};
+  bool Issued = false;
+  bool Mispredicted = false;
+  bool MissedLoad = false; ///< Sink-only: issued load that missed.
+};
+
+bool fastPathFromEnv() {
+  const char *E = std::getenv("FPINT_SIM_FAST");
+  return !(E && std::strcmp(E, "0") == 0);
+}
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Every additive SimStats counter (used by the sampling extrapolation;
+/// ratio-derived and provenance fields are handled separately).
+#define FPINT_SIM_COUNTERS(X)                                                  \
+  X(Cycles)                                                                    \
+  X(Instructions)                                                              \
+  X(IntIssued)                                                                 \
+  X(FpIssued)                                                                  \
+  X(CondBranches)                                                              \
+  X(Mispredicts)                                                               \
+  X(Loads)                                                                     \
+  X(Stores)                                                                    \
+  X(DCacheMisses)                                                              \
+  X(ICacheMisses)                                                              \
+  X(StoreForwards)                                                             \
+  X(FpBusyCycles)                                                              \
+  X(IntIdleFpBusyCycles)
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// SampleSpec / SimulationOverrun
+//===----------------------------------------------------------------------===//
+
+bool SampleSpec::parse(const std::string &Text, SampleSpec &Out) {
+  uint64_t V[3];
+  size_t Pos = 0;
+  for (int I = 0; I < 3; ++I) {
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return false;
+    char *End = nullptr;
+    V[I] = std::strtoull(Text.c_str() + Pos, &End, 10);
+    Pos = static_cast<size_t>(End - Text.c_str());
+    if (I < 2) {
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return false;
+      ++Pos;
+    }
+  }
+  if (Pos != Text.size())
+    return false;
+  Out.Warmup = V[0];
+  Out.Window = V[1];
+  Out.Stride = V[2];
+  return true;
+}
+
+SampleSpec SampleSpec::fromEnv() {
+  const char *E = std::getenv("FPINT_SIM_SAMPLE");
+  if (!E || !*E)
+    return {};
+  SampleSpec S;
+  if (!parse(E, S)) {
+    static bool Warned = false;
+    if (!Warned) {
+      std::fprintf(stderr,
+                   "fpint: ignoring malformed FPINT_SIM_SAMPLE='%s' "
+                   "(expected warmup:window:stride)\n",
+                   E);
+      Warned = true;
+    }
+    return {};
+  }
+  return S;
+}
+
+SimulationOverrun::SimulationOverrun(uint64_t CycleIn, uint64_t LimitIn,
+                                     uint64_t RetiredIn, uint64_t TraceSizeIn)
+    : std::runtime_error("simulation overrun: no forward progress after " +
+                         std::to_string(LimitIn) + " cycles (" +
+                         std::to_string(RetiredIn) + "/" +
+                         std::to_string(TraceSizeIn) +
+                         " instructions retired)"),
+      Cycle(CycleIn), Limit(LimitIn), Retired(RetiredIn),
+      TraceSize(TraceSizeIn) {}
+
+//===----------------------------------------------------------------------===//
+// Simulator
+//===----------------------------------------------------------------------===//
 
 struct Simulator::Impl {
   std::unordered_map<const Instruction *, InstrInfo> InfoCache;
   std::unique_ptr<BranchPredictor> Predictor;
   std::unique_ptr<Cache> ICache;
   std::unique_ptr<Cache> DCache;
+
+  /// Fresh machine state (predictor + caches) for one simulation pass.
+  void reset(const MachineConfig &Config) {
+    switch (Config.Predictor) {
+    case PredictorKind::Gshare:
+      Predictor = std::make_unique<GsharePredictor>(
+          Config.PredictorTableBits, Config.PredictorHistoryBits);
+      break;
+    case PredictorKind::McFarling:
+      Predictor = std::make_unique<McFarlingPredictor>(
+          Config.PredictorTableBits, Config.PredictorHistoryBits);
+      break;
+    case PredictorKind::StaticNotTaken:
+      Predictor = std::make_unique<StaticNotTakenPredictor>();
+      break;
+    }
+    ICache = std::make_unique<Cache>(Config.ICache);
+    DCache = std::make_unique<Cache>(Config.DCache);
+  }
 };
 
 Simulator::Simulator(const MachineConfig &ConfigIn,
                      const regalloc::ModuleAlloc &AllocIn)
-    : Config(ConfigIn), Alloc(AllocIn), State(std::make_unique<Impl>()) {}
+    : Config(ConfigIn), Alloc(AllocIn), State(std::make_unique<Impl>()) {
+  UseFast = fastPathFromEnv();
+  Sample = SampleSpec::fromEnv();
+}
 
 Simulator::~Simulator() = default;
 
 SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
+  auto T0 = std::chrono::steady_clock::now();
+  SimStats Stats;
+  if (UseFast) {
+    PackedTrace PT = PackedTrace::build(Trace, Alloc);
+    Stats = Sample.enabled() ? runSampled(PT) : runFast(PT);
+  } else {
+    Stats = runReference(Trace);
+  }
+  Stats.SimWallMs = msSince(T0);
+  return Stats;
+}
+
+SimStats Simulator::run(const PackedTrace &Trace) {
+  auto T0 = std::chrono::steady_clock::now();
+  SimStats Stats;
+  if (UseFast) {
+    Stats = Sample.enabled() ? runSampled(Trace) : runFast(Trace);
+  } else {
+    std::vector<TraceEntry> Entries = Trace.entries();
+    Stats = runReference(Entries);
+  }
+  Stats.SimWallMs = msSince(T0);
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference loop (differential oracle; FPINT_SIM_FAST=0)
+//===----------------------------------------------------------------------===//
+
+SimStats Simulator::runReference(const std::vector<TraceEntry> &Trace) {
   SimStats Stats;
   Impl &S = *State;
-
-  switch (Config.Predictor) {
-  case PredictorKind::Gshare:
-    S.Predictor = std::make_unique<GsharePredictor>(
-        Config.PredictorTableBits, Config.PredictorHistoryBits);
-    break;
-  case PredictorKind::McFarling:
-    S.Predictor = std::make_unique<McFarlingPredictor>(
-        Config.PredictorTableBits, Config.PredictorHistoryBits);
-    break;
-  case PredictorKind::StaticNotTaken:
-    S.Predictor = std::make_unique<StaticNotTakenPredictor>();
-    break;
-  }
-  S.ICache = std::make_unique<Cache>(Config.ICache);
-  S.DCache = std::make_unique<Cache>(Config.DCache);
+  S.reset(Config);
 
   // Decode helper (memoized per static instruction).
   auto InfoOf = [&](const TraceEntry &TE) -> const InstrInfo * {
@@ -449,15 +613,458 @@ SimStats Simulator::run(const std::vector<TraceEntry> &Trace) {
     }
 
     ++Cycle;
-    if (Cycle > SafetyLimit) {
-      assert(false && "simulator failed to make progress");
-      break;
-    }
+    if (Cycle > SafetyLimit)
+      throw SimulationOverrun(Cycle, SafetyLimit, Stats.Instructions,
+                              Trace.size());
   }
 
   Stats.Cycles = Cycle;
   return Stats;
 }
+
+//===----------------------------------------------------------------------===//
+// Fast loop (packed SoA + dense ring + cycle skipping)
+//===----------------------------------------------------------------------===//
+
+SimStats Simulator::runFast(const PackedTrace &Trace) {
+  return runFastRange(Trace, 0, Trace.size(), 0, nullptr);
+}
+
+SimStats Simulator::runFastRange(const PackedTrace &PT, size_t Begin,
+                                 size_t End, uint64_t WarmupInstrs,
+                                 SimStats *WarmupSnap) {
+  SimStats Stats;
+  Impl &S = *State;
+  S.reset(Config);
+
+  if (!Config.FpaEnabled)
+    assert(!PT.HasFpa &&
+           "partitioned binary on a conventional (non-FPa) machine");
+
+  // The in-flight ring. Live sequence numbers are contiguous:
+  //   ROB     = [RetireSeq, DispatchSeq)   (<= MaxInFlight entries)
+  //   FetchQ  = [DispatchSeq, NextSeq)     (< 3 * FetchWidth entries)
+  // so a power-of-two ring larger than both regions together can never
+  // alias a live slot; slots are fully re-initialized at fetch.
+  const uint64_t MaxLive =
+      static_cast<uint64_t>(Config.MaxInFlight) + 3ULL * Config.FetchWidth + 2;
+  uint64_t Capacity = 1;
+  while (Capacity < MaxLive)
+    Capacity <<= 1;
+  const uint64_t Mask = Capacity - 1;
+  std::vector<FastEntry> Flight(Capacity);
+
+  uint64_t RenameTable[2][regalloc::ArchLayout::FileSize] = {};
+  unsigned IntWindowUsed = 0, FpWindowUsed = 0;
+  unsigned IntPhysFree = Config.IntPhysRegs - regalloc::ArchLayout::FileSize;
+  unsigned FpPhysFree = Config.FpPhysRegs - regalloc::ArchLayout::FileSize;
+
+  size_t FetchIdx = Begin;
+  uint64_t RetireSeq = 1, DispatchSeq = 1, NextSeq = 1;
+  uint64_t Cycle = 0;
+  uint64_t FetchResumeCycle = 0;
+  uint64_t PendingBranchSeq = 0;
+
+  std::vector<uint64_t> IntUnitFree(Config.IntUnits, 0);
+  std::vector<uint64_t> FpUnitFree(Config.FpUnits, 0);
+
+  stats::StallReason ResumeKind = stats::StallReason::None;
+
+  bool SnapPending = WarmupSnap && WarmupInstrs > 0;
+  if (WarmupSnap)
+    *WarmupSnap = SimStats{}; // Warmup == 0: measure from cycle zero.
+
+  const uint64_t SafetyLimit =
+      static_cast<uint64_t>((End - Begin) + 1000) * 400 + 100000;
+
+  while (FetchIdx < End || RetireSeq != NextSeq) {
+    stats::StallReason IssueBlock = stats::StallReason::None;
+    stats::StallReason DispatchBlock = stats::StallReason::None;
+
+    //===------------------------------------------------------------===//
+    // Commit (in order, up to RetireWidth).
+    //===------------------------------------------------------------===//
+    unsigned Retired = 0;
+    while (RetireSeq != DispatchSeq && Retired < Config.RetireWidth) {
+      FastEntry &Head = Flight[RetireSeq & Mask];
+      if (!Head.Issued || Head.DoneCycle > Cycle)
+        break;
+      const PackedOp &Op = *Head.Op;
+      if (Op.is(PackedOp::IsStore))
+        S.DCache->access(PT.MemAddr[Head.Idx], /*Write=*/true);
+      if (Op.is(PackedOp::HasDef)) {
+        if (Op.Def & PackedOp::FileBit)
+          ++FpPhysFree;
+        else
+          ++IntPhysFree;
+      }
+      ++Stats.Instructions;
+      ++Retired;
+      ++RetireSeq;
+    }
+
+    //===------------------------------------------------------------===//
+    // Issue (per subsystem, oldest first).
+    //===------------------------------------------------------------===//
+    unsigned IntIssuedNow = 0, FpIssuedNow = 0, PortsUsed = 0;
+    // True when a load completed its memory evaluation (store-forward
+    // scan / D-cache probe, with their counter and cache side effects)
+    // but then found no free unit. The reference loop re-runs that
+    // evaluation every cycle the load retries, so such a cycle must
+    // not be skipped -- the elided cycles would under-count
+    // StoreForwards / D-cache traffic. These spans are short: they
+    // end at a unit-free wakeup, at most an unpipelined divide away.
+    bool LoadEvalNoIssue = false;
+    const uint64_t OldestSeq =
+        RetireSeq == DispatchSeq ? NextSeq : RetireSeq;
+    for (uint64_t Sq = RetireSeq; Sq != DispatchSeq; ++Sq) {
+      FastEntry &E = Flight[Sq & Mask];
+      if (E.Issued)
+        continue;
+      const PackedOp &Op = *E.Op;
+      const bool Fp = Op.is(PackedOp::FpSubsystem);
+      auto &Units = Fp ? FpUnitFree : IntUnitFree;
+      unsigned &IssuedNow = Fp ? FpIssuedNow : IntIssuedNow;
+      if (IssuedNow >= Units.size())
+        continue;
+
+      // Blocking producer: producers older than the ROB head have
+      // committed; otherwise the producer's ring slot holds its
+      // issue/done state (the dense scoreboard).
+      uint64_t Blocking = 0;
+      for (unsigned U = 0; U < Op.NumUses; ++U) {
+        uint64_t P = E.ProducerSeq[U];
+        if (P == 0 || P < OldestSeq)
+          continue;
+        const FastEntry &Prod = Flight[P & Mask];
+        if (!Prod.Issued || Prod.DoneCycle > Cycle) {
+          Blocking = P;
+          break;
+        }
+      }
+      if (Blocking) {
+        if (Sink && IssueBlock == stats::StallReason::None)
+          IssueBlock = Flight[Blocking & Mask].MissedLoad
+                           ? stats::StallReason::DCacheMissWait
+                           : stats::StallReason::OperandWait;
+        continue;
+      }
+
+      // Memory constraints (INT subsystem only).
+      unsigned ExtraLatency = 0;
+      if (Op.is(PackedOp::IsLoad) || Op.is(PackedOp::IsStore)) {
+        if (PortsUsed >= Config.LoadStorePorts)
+          continue;
+        if (Op.is(PackedOp::IsLoad)) {
+          bool Blocked = false;
+          bool Forwarded = false;
+          const uint32_t MyLine = PT.MemAddr[E.Idx] / 4;
+          for (uint64_t OSq = RetireSeq; OSq != Sq; ++OSq) {
+            const FastEntry &Older = Flight[OSq & Mask];
+            if (!Older.Op->is(PackedOp::IsStore))
+              continue;
+            if (!Older.Issued) {
+              Blocked = true;
+              break;
+            }
+            if (PT.MemAddr[Older.Idx] / 4 == MyLine)
+              Forwarded = true; // Youngest older match wins.
+          }
+          if (Blocked) {
+            if (Sink && IssueBlock == stats::StallReason::None)
+              IssueBlock = stats::StallReason::LoadBlockedStoreAddr;
+            continue;
+          }
+          if (Forwarded) {
+            ++Stats.StoreForwards;
+          } else {
+            unsigned Lat = S.DCache->access(PT.MemAddr[E.Idx], false);
+            ExtraLatency = Lat - Config.DCache.HitLatency;
+            if (ExtraLatency)
+              ++Stats.DCacheMisses;
+          }
+        }
+      }
+
+      // Find a free functional unit.
+      unsigned Unit = ~0u;
+      for (unsigned U = 0; U < Units.size(); ++U)
+        if (Units[U] <= Cycle) {
+          Unit = U;
+          break;
+        }
+      if (Unit == ~0u) {
+        if (Op.is(PackedOp::IsLoad))
+          LoadEvalNoIssue = true;
+        if (Sink && IssueBlock == stats::StallReason::None)
+          IssueBlock = stats::StallReason::UnitBusy;
+        continue;
+      }
+
+      // Issue.
+      E.Issued = true;
+      E.DoneCycle = Cycle + Op.Latency + ExtraLatency;
+      Units[Unit] = Op.is(PackedOp::Unpipelined) ? E.DoneCycle : Cycle + 1;
+      ++IssuedNow;
+      if (Sink && Op.is(PackedOp::IsLoad) && ExtraLatency)
+        E.MissedLoad = true;
+      if (Op.is(PackedOp::IsLoad) || Op.is(PackedOp::IsStore))
+        ++PortsUsed;
+      if (E.Mispredicted) {
+        FetchResumeCycle =
+            std::max(FetchResumeCycle, E.DoneCycle + Config.MispredictRedirect);
+        if (Sink)
+          ResumeKind = stats::StallReason::FetchMispredict;
+        if (PendingBranchSeq == Sq)
+          PendingBranchSeq = 0;
+      }
+    }
+    Stats.IntIssued += IntIssuedNow;
+    Stats.FpIssued += FpIssuedNow;
+    if (FpIssuedNow > 0) {
+      ++Stats.FpBusyCycles;
+      if (IntIssuedNow == 0)
+        ++Stats.IntIdleFpBusyCycles;
+    }
+
+    //===------------------------------------------------------------===//
+    // Dispatch (decode/rename, up to DecodeWidth).
+    //===------------------------------------------------------------===//
+    unsigned Dispatched = 0;
+    while (DispatchSeq != NextSeq && Dispatched < Config.DecodeWidth) {
+      FastEntry &E = Flight[DispatchSeq & Mask];
+      if (E.FetchCycle >= Cycle)
+        break; // Fetched this cycle; decodes next.
+      const PackedOp &Op = *E.Op;
+      if (DispatchSeq - RetireSeq >= Config.MaxInFlight) {
+        if (Sink)
+          DispatchBlock = stats::StallReason::RobFull;
+        break;
+      }
+      const bool Fp = Op.is(PackedOp::FpSubsystem);
+      unsigned &Window = Fp ? FpWindowUsed : IntWindowUsed;
+      unsigned Capacity = Fp ? Config.FpWindow : Config.IntWindow;
+      if (Window >= Capacity) {
+        if (Sink)
+          DispatchBlock = Fp ? stats::StallReason::WindowFullFpa
+                             : stats::StallReason::WindowFullInt;
+        break;
+      }
+      if (Op.is(PackedOp::HasDef)) {
+        unsigned &Free =
+            (Op.Def & PackedOp::FileBit) ? FpPhysFree : IntPhysFree;
+        if (Free == 0) {
+          if (Sink)
+            DispatchBlock = stats::StallReason::PhysRegsFull;
+          break;
+        }
+        --Free;
+      }
+
+      // Rename: record operand producers, claim the destination.
+      for (unsigned U = 0; U < Op.NumUses; ++U)
+        E.ProducerSeq[U] =
+            RenameTable[(Op.Uses[U] & PackedOp::FileBit) ? 1 : 0]
+                       [Op.Uses[U] & PackedOp::ArchMask];
+      if (Op.is(PackedOp::HasDef))
+        RenameTable[(Op.Def & PackedOp::FileBit) ? 1 : 0]
+                   [Op.Def & PackedOp::ArchMask] = DispatchSeq;
+
+      ++Window;
+      ++DispatchSeq;
+      ++Dispatched;
+    }
+    // The reference loop recounts window occupancy after dispatch as
+    // "dispatched and not yet issued"; incrementally that is last
+    // cycle's recount, plus this cycle's dispatches (added above),
+    // minus this cycle's issues (every issue came out of last cycle's
+    // recount because issue precedes dispatch within the cycle).
+    IntWindowUsed -= IntIssuedNow;
+    FpWindowUsed -= FpIssuedNow;
+
+    //===------------------------------------------------------------===//
+    // Fetch (up to FetchWidth, blocked by mispredicts and I-misses).
+    //===------------------------------------------------------------===//
+    unsigned Fetched = 0;
+    if (Cycle >= FetchResumeCycle && PendingBranchSeq == 0 &&
+        NextSeq - DispatchSeq < 2 * Config.FetchWidth) {
+      for (unsigned N = 0; N < Config.FetchWidth && FetchIdx < End; ++N) {
+        const PackedOp &Op = PT.op(FetchIdx);
+
+        unsigned ILat = S.ICache->access(Op.Pc, false);
+        if (ILat > Config.ICache.HitLatency) {
+          ++Stats.ICacheMisses;
+          FetchResumeCycle = Cycle + (ILat - Config.ICache.HitLatency);
+          if (Sink)
+            ResumeKind = stats::StallReason::FetchICacheMiss;
+        }
+
+        FastEntry &E = Flight[NextSeq & Mask];
+        E.Op = &Op;
+        E.Idx = static_cast<uint32_t>(FetchIdx);
+        E.FetchCycle = Cycle;
+        E.DoneCycle = NeverCycle;
+        E.Issued = false;
+        E.Mispredicted = false;
+        E.MissedLoad = false;
+        const bool Taken = PT.Taken[FetchIdx] != 0;
+        if (Op.is(PackedOp::IsCondBranch)) {
+          ++Stats.CondBranches;
+          bool Correct = S.Predictor->predictAndUpdate(Op.Pc, Taken);
+          if (!Correct) {
+            ++Stats.Mispredicts;
+            E.Mispredicted = true;
+            PendingBranchSeq = NextSeq;
+          }
+        }
+        if (Op.is(PackedOp::IsLoad))
+          ++Stats.Loads;
+        if (Op.is(PackedOp::IsStore))
+          ++Stats.Stores;
+        ++FetchIdx;
+        bool TakenTransfer = (Op.is(PackedOp::IsCondBranch) && Taken) ||
+                             Op.is(PackedOp::UncondTransfer);
+        bool StopFetch = E.Mispredicted || FetchResumeCycle > Cycle ||
+                         (Config.FetchBreaksOnTaken && TakenTransfer);
+        ++NextSeq;
+        ++Fetched;
+        if (StopFetch)
+          break;
+      }
+    }
+
+    //===------------------------------------------------------------===//
+    // Cycle skipping: when nothing retired, issued, dispatched, or
+    // fetched -- and no retrying load re-runs its side-effecting
+    // memory evaluation (LoadEvalNoIssue) -- every phase is a pure
+    // function of state that can only change at the next wakeup
+    // boundary: the earliest in-flight completion, busy-unit free
+    // time, or fetch resume cycle. Jump there directly; the cycles in
+    // between would have replayed this exact cycle (same stall
+    // classification, same occupancy), so they are bulk-emitted
+    // through EventSink::onCycles.
+    //===------------------------------------------------------------===//
+    uint64_t Advance = 1;
+    if (Retired == 0 && IntIssuedNow == 0 && FpIssuedNow == 0 &&
+        Dispatched == 0 && Fetched == 0 && !LoadEvalNoIssue) {
+      uint64_t Next = NeverCycle;
+      for (uint64_t Sq = RetireSeq; Sq != DispatchSeq; ++Sq) {
+        const FastEntry &E = Flight[Sq & Mask];
+        if (E.Issued && E.DoneCycle > Cycle && E.DoneCycle < Next)
+          Next = E.DoneCycle;
+      }
+      for (uint64_t F : IntUnitFree)
+        if (F > Cycle && F < Next)
+          Next = F;
+      for (uint64_t F : FpUnitFree)
+        if (F > Cycle && F < Next)
+          Next = F;
+      if (FetchResumeCycle > Cycle && FetchResumeCycle < Next)
+        Next = FetchResumeCycle;
+      if (Next != NeverCycle && Next > Cycle + 1)
+        Advance = Next - Cycle;
+    }
+
+    //===------------------------------------------------------------===//
+    // Telemetry: classify the cycle and emit the event (sink-only).
+    //===------------------------------------------------------------===//
+    if (Sink) {
+      using stats::StallReason;
+      stats::CycleEvent Ev;
+      Ev.IntIssued = IntIssuedNow;
+      Ev.FpIssued = FpIssuedNow;
+      Ev.IntWindowUsed = IntWindowUsed;
+      Ev.FpWindowUsed = FpWindowUsed;
+      Ev.IntWindowFull = IntWindowUsed >= Config.IntWindow;
+      Ev.FpWindowFull = FpWindowUsed >= Config.FpWindow;
+      if (IntIssuedNow + FpIssuedNow == 0) {
+        StallReason R = StallReason::FrontendLatency;
+        if (DispatchBlock == StallReason::WindowFullInt ||
+            DispatchBlock == StallReason::WindowFullFpa)
+          R = DispatchBlock;
+        else if (IssueBlock != StallReason::None)
+          R = IssueBlock;
+        else if (DispatchBlock != StallReason::None)
+          R = DispatchBlock;
+        else if (RetireSeq != DispatchSeq)
+          R = StallReason::RetireStall;
+        else if (PendingBranchSeq != 0)
+          R = StallReason::FetchMispredict;
+        else if (Cycle < FetchResumeCycle)
+          R = ResumeKind != StallReason::None ? ResumeKind
+                                              : StallReason::FetchMispredict;
+        Ev.Reason = R;
+      }
+      if (Advance == 1)
+        Sink->onCycle(Ev);
+      else
+        Sink->onCycles(Ev, Advance);
+    }
+
+    Cycle += Advance;
+    if (Cycle > SafetyLimit)
+      throw SimulationOverrun(Cycle, SafetyLimit, Stats.Instructions,
+                              End - Begin);
+
+    if (SnapPending && Stats.Instructions >= WarmupInstrs) {
+      *WarmupSnap = Stats;
+      WarmupSnap->Cycles = Cycle;
+      SnapPending = false;
+    }
+  }
+
+  Stats.Cycles = Cycle;
+  if (SnapPending) {
+    // The segment ended inside the warmup; nothing was measured.
+    *WarmupSnap = Stats;
+  }
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Sampled simulation
+//===----------------------------------------------------------------------===//
+
+SimStats Simulator::runSampled(const PackedTrace &PT) {
+  const uint64_t N = PT.size();
+  const uint64_t SegLen = Sample.Warmup + Sample.Window;
+  const uint64_t Stride = std::max<uint64_t>({Sample.Stride, SegLen, 1});
+
+  SimStats Acc; // Sum of measured (post-warmup) window deltas.
+  for (uint64_t Start = 0; Start < N; Start += Stride) {
+    const uint64_t SegEnd = std::min<uint64_t>(Start + SegLen, N);
+    SimStats Snap;
+    SimStats Seg = runFastRange(PT, Start, SegEnd, Sample.Warmup, &Snap);
+    if (Seg.Instructions <= Snap.Instructions)
+      continue; // Warmup swallowed the whole segment.
+#define FPINT_ACC(F) Acc.F += Seg.F - Snap.F;
+    FPINT_SIM_COUNTERS(FPINT_ACC)
+#undef FPINT_ACC
+  }
+
+  if (Acc.Instructions == 0)
+    // Degenerate spec (e.g. warmup longer than every segment): fall
+    // back to the exact full simulation.
+    return runFast(PT);
+
+  const double Ratio =
+      static_cast<double>(N) / static_cast<double>(Acc.Instructions);
+  SimStats Out;
+#define FPINT_SCALE(F)                                                         \
+  Out.F = static_cast<uint64_t>(                                               \
+      std::llround(static_cast<double>(Acc.F) * Ratio));
+  FPINT_SIM_COUNTERS(FPINT_SCALE)
+#undef FPINT_SCALE
+  Out.Instructions = N; // The trace length is exact, not extrapolated.
+  Out.Sampled = true;
+  Out.SampledInstructions = Acc.Instructions;
+  Out.SampledCycles = Acc.Cycles;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// simulateModule
+//===----------------------------------------------------------------------===//
 
 SimStats timing::simulateModule(const sir::Module &M,
                                 const regalloc::ModuleAlloc &Alloc,

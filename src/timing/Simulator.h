@@ -26,6 +26,29 @@
 /// of a register-allocated module; the regalloc ArchIndex map supplies
 /// each operand's architectural register identity for renaming.
 ///
+/// Two cycle loops implement the same machine (docs/ARCHITECTURE.md,
+/// "Simulator fast path"):
+///
+///  * the *reference loop* -- the original, deliberately simple
+///    implementation over `vm::TraceEntry` vectors; kept alive as the
+///    differential oracle (`FPINT_SIM_FAST=0`, and every fpint-fuzz
+///    iteration races the two);
+///  * the *fast loop* (default) -- runs over a pre-decoded
+///    timing::PackedTrace, keeps all in-flight state in one dense
+///    seq-indexed ring (the wakeup scoreboard included), and jumps the
+///    cycle counter over provably idle spans instead of ticking through
+///    them. It is cycle-exact: SimStats and, with a sink attached, the
+///    full stall-attribution telemetry are bit-identical to the
+///    reference loop.
+///
+/// Optionally (`FPINT_SIM_SAMPLE=warmup:window:stride`, or
+/// setSampling()) a run samples the trace instead of simulating every
+/// instruction: each window of `window` instructions every `stride` is
+/// simulated behind `warmup` instructions of cold-start warmup, and the
+/// aggregate SimStats are extrapolated from the measured windows. Such
+/// stats are clearly marked (`Sampled == true`, `"sampled": true` in
+/// bench reports) and must never feed golden/figure paths.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FPINT_TIMING_SIMULATOR_H
@@ -37,9 +60,12 @@
 #include "timing/BranchPredictor.h"
 #include "timing/Cache.h"
 #include "timing/MachineConfig.h"
+#include "timing/PackedTrace.h"
 #include "vm/VM.h"
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace fpint {
@@ -64,6 +90,19 @@ struct SimStats {
   uint64_t FpBusyCycles = 0;          ///< Cycles with >=1 FP issue.
   uint64_t IntIdleFpBusyCycles = 0;   ///< ...where INT issued nothing.
 
+  /// Wall-clock time run() spent simulating, in milliseconds. Purely
+  /// informational (never compared by the regression gate); feeds the
+  /// "sim_wall_ms" / "sim_cycles_per_sec" bench-report fields.
+  double SimWallMs = 0.0;
+
+  /// Sampled-simulation provenance (see Simulator::setSampling). When
+  /// Sampled is true the aggregate counters above are extrapolated
+  /// from SampledInstructions retired over SampledCycles measured
+  /// window cycles; Instructions remains the exact trace length.
+  bool Sampled = false;
+  uint64_t SampledInstructions = 0;
+  uint64_t SampledCycles = 0;
+
   double ipc() const {
     return Cycles ? static_cast<double>(Instructions) /
                         static_cast<double>(Cycles)
@@ -81,6 +120,13 @@ struct SimStats {
                               static_cast<double>(FpBusyCycles)
                         : 0.0;
   }
+  /// Simulated cycles per wall second (0 when the run was too fast to
+  /// time). Informational, like SimWallMs.
+  double cyclesPerSecond() const {
+    return SimWallMs > 0.0 ? static_cast<double>(Cycles) /
+                                 (SimWallMs / 1000.0)
+                           : 0.0;
+  }
 
   /// Cycle-level telemetry collected by the run's event sink, or null
   /// when telemetry was disabled (the default). Carrying the breakdown
@@ -89,14 +135,61 @@ struct SimStats {
   std::shared_ptr<const stats::StallBreakdown> Telemetry;
 };
 
+/// Sampled-simulation parameters: simulate `Window` instructions every
+/// `Stride`, preceded by `Warmup` instructions that warm the machine
+/// state but are excluded from the measurement. Inactive (full
+/// simulation) unless Window > 0.
+struct SampleSpec {
+  uint64_t Warmup = 0;
+  uint64_t Window = 0;
+  uint64_t Stride = 0;
+
+  bool enabled() const { return Window > 0; }
+
+  /// Parses "warmup:window:stride" (decimal). Returns false (leaving
+  /// \p Out untouched) on malformed input.
+  static bool parse(const std::string &Text, SampleSpec &Out);
+
+  /// The FPINT_SIM_SAMPLE environment spec; disabled when unset or
+  /// malformed (a malformed value warns once on stderr).
+  static SampleSpec fromEnv();
+};
+
+/// Thrown when a simulation exceeds its progress safety limit: the
+/// machine configuration cannot drain the trace (e.g. zero functional
+/// units for a subsystem the program needs). A typed, reportable
+/// harness condition in the spirit of the vm::Trap taxonomy -- matrix
+/// harnesses degrade the cell to an ERR row and the differential
+/// oracle records a mismatch, instead of an assert killing the run.
+class SimulationOverrun : public std::runtime_error {
+public:
+  SimulationOverrun(uint64_t Cycle, uint64_t Limit, uint64_t Retired,
+                    uint64_t TraceSize);
+
+  uint64_t Cycle;     ///< Cycle count when the limit tripped.
+  uint64_t Limit;     ///< The safety limit that was exceeded.
+  uint64_t Retired;   ///< Instructions retired by then.
+  uint64_t TraceSize; ///< Dynamic instructions in the trace.
+};
+
 /// Simulates traces against one machine configuration.
 class Simulator {
 public:
   Simulator(const MachineConfig &Config, const regalloc::ModuleAlloc &Alloc);
   ~Simulator();
 
-  /// Runs \p Trace to completion and returns the statistics.
+  /// Runs \p Trace to completion and returns the statistics. Packs the
+  /// trace on the fly when the fast path is active; callers that
+  /// simulate one module on many machines should pack once and use the
+  /// PackedTrace overload instead (core::simulate does, via the
+  /// TraceHandle cache). Throws SimulationOverrun if the machine
+  /// cannot drain the trace.
   SimStats run(const std::vector<vm::TraceEntry> &Trace);
+
+  /// Runs a pre-packed trace (no per-run decode). With the fast path
+  /// disabled the entries are reconstructed and fed to the reference
+  /// loop, so both overloads honor both paths.
+  SimStats run(const PackedTrace &Trace);
 
   /// Attaches \p S to receive one CycleEvent per simulated cycle
   /// (stall attribution + issue occupancy). Null detaches. With no
@@ -104,6 +197,19 @@ public:
   /// and produces bit-identical SimStats to the uninstrumented
   /// simulator. The sink must outlive run().
   void setEventSink(stats::EventSink *S) { Sink = S; }
+
+  /// Selects the fast (packed SoA + cycle-skipping) or reference cycle
+  /// loop. Defaults to the FPINT_SIM_FAST environment switch (unset or
+  /// nonzero = fast; "0" = reference).
+  void setFastPath(bool On) { UseFast = On; }
+  bool fastPath() const { return UseFast; }
+
+  /// Enables or disables sampled simulation for subsequent runs (an
+  /// empty/disabled spec simulates every instruction). Defaults to
+  /// SampleSpec::fromEnv(). Sampling requires the fast path; the
+  /// reference loop always simulates the full trace.
+  void setSampling(SampleSpec S) { Sample = S; }
+  const SampleSpec &sampling() const { return Sample; }
 
   const MachineConfig &config() const { return Config; }
 
@@ -113,6 +219,18 @@ private:
   const regalloc::ModuleAlloc &Alloc;
   std::unique_ptr<Impl> State;
   stats::EventSink *Sink = nullptr;
+  bool UseFast = true;
+  SampleSpec Sample;
+
+  SimStats runReference(const std::vector<vm::TraceEntry> &Trace);
+  SimStats runFast(const PackedTrace &Trace);
+  SimStats runSampled(const PackedTrace &Trace);
+  /// One fast-loop pass over dynamic instructions [Begin, End). When
+  /// \p WarmupInstrs > 0 and \p WarmupSnap is non-null, *WarmupSnap is
+  /// set to the running stats at the end of the cycle in which the
+  /// WarmupInstrs-th instruction of the segment retired.
+  SimStats runFastRange(const PackedTrace &Trace, size_t Begin, size_t End,
+                        uint64_t WarmupInstrs, SimStats *WarmupSnap);
 };
 
 /// Convenience: VM-trace + simulate in one call. The module must be

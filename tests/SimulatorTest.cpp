@@ -1,0 +1,289 @@
+//===- tests/SimulatorTest.cpp - Fast-path simulator equivalence ----------===//
+//
+// The fast cycle loop (packed SoA trace, dense in-flight ring,
+// event-driven cycle skipping) must be bit-identical to the reference
+// loop: same SimStats, same telemetry breakdown, on every fixture and
+// machine. These tests pin that contract, the PackedTrace round-trip,
+// the typed SimulationOverrun condition, and sampled-mode determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "sir/Parser.h"
+#include "timing/MachineConfig.h"
+#include "timing/PackedTrace.h"
+#include "timing/Simulator.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::timing;
+using namespace fpint::core;
+
+namespace {
+
+PipelineRun compileSrc(const char *Src, partition::Scheme S) {
+  sir::ParseResult PR = sir::parseModule(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error;
+  PipelineConfig Cfg;
+  Cfg.Scheme = S;
+  Cfg.RunOptimizations = false;
+  PipelineRun Run = compileAndMeasure(*PR.M, Cfg);
+  EXPECT_TRUE(Run.ok()) << (Run.Errors.empty() ? "?" : Run.Errors[0]);
+  return Run;
+}
+
+/// Runs \p Run on \p M with the given path selection, full simulation,
+/// no environment influence.
+SimStats runPath(const PipelineRun &Run, const MachineConfig &M, bool Fast,
+                 stats::EventSink *Sink = nullptr) {
+  Simulator Sim(M, Run.Alloc);
+  Sim.setFastPath(Fast);
+  Sim.setSampling({});
+  Sim.setEventSink(Sink);
+  return Sim.run(Run.refTrace());
+}
+
+/// Every deterministic SimStats field (wall time and telemetry
+/// pointers excluded, by design).
+void expectStatsEqual(const SimStats &Ref, const SimStats &Fast,
+                      const std::string &Label) {
+  EXPECT_EQ(Ref.Cycles, Fast.Cycles) << Label;
+  EXPECT_EQ(Ref.Instructions, Fast.Instructions) << Label;
+  EXPECT_EQ(Ref.IntIssued, Fast.IntIssued) << Label;
+  EXPECT_EQ(Ref.FpIssued, Fast.FpIssued) << Label;
+  EXPECT_EQ(Ref.CondBranches, Fast.CondBranches) << Label;
+  EXPECT_EQ(Ref.Mispredicts, Fast.Mispredicts) << Label;
+  EXPECT_EQ(Ref.Loads, Fast.Loads) << Label;
+  EXPECT_EQ(Ref.Stores, Fast.Stores) << Label;
+  EXPECT_EQ(Ref.DCacheMisses, Fast.DCacheMisses) << Label;
+  EXPECT_EQ(Ref.ICacheMisses, Fast.ICacheMisses) << Label;
+  EXPECT_EQ(Ref.StoreForwards, Fast.StoreForwards) << Label;
+  EXPECT_EQ(Ref.FpBusyCycles, Fast.FpBusyCycles) << Label;
+  EXPECT_EQ(Ref.IntIdleFpBusyCycles, Fast.IntIdleFpBusyCycles) << Label;
+  EXPECT_EQ(Ref.Sampled, Fast.Sampled) << Label;
+}
+
+void expectBreakdownsEqual(const stats::StallBreakdown &Ref,
+                           const stats::StallBreakdown &Fast,
+                           const std::string &Label) {
+  EXPECT_EQ(Ref.Cycles, Fast.Cycles) << Label;
+  EXPECT_EQ(Ref.NonIssuingCycles, Fast.NonIssuingCycles) << Label;
+  for (unsigned R = 0; R < stats::NumStallReasons; ++R)
+    EXPECT_EQ(Ref.StallCycles[R], Fast.StallCycles[R])
+        << Label << " reason "
+        << stats::stallReasonName(static_cast<stats::StallReason>(R));
+  EXPECT_EQ(Ref.IntIssueHist, Fast.IntIssueHist) << Label;
+  EXPECT_EQ(Ref.FpIssueHist, Fast.FpIssueHist) << Label;
+  EXPECT_EQ(Ref.IntWindowFullCycles, Fast.IntWindowFullCycles) << Label;
+  EXPECT_EQ(Ref.FpWindowFullCycles, Fast.FpWindowFullCycles) << Label;
+  EXPECT_EQ(Ref.IntWindowOccupancySum, Fast.IntWindowOccupancySum) << Label;
+  EXPECT_EQ(Ref.FpWindowOccupancySum, Fast.FpWindowOccupancySum) << Label;
+}
+
+//===----------------------------------------------------------------------===//
+// (a) Fast path == reference path across fixtures x machines.
+//===----------------------------------------------------------------------===//
+
+TEST(FastPath, MatchesReferenceAcrossFixturesAndMachines) {
+  const struct {
+    const char *Name;
+    const char *Src;
+  } Fixtures[] = {
+      {"IntVectorSum", fixtures::IntVectorSum},
+      {"InvalidateForCall", fixtures::InvalidateForCall},
+      {"MemoryFreeRand", fixtures::MemoryFreeRand},
+  };
+  const partition::Scheme Schemes[] = {partition::Scheme::None,
+                                       partition::Scheme::Advanced};
+  const MachineConfig Machines[] = {MachineConfig::fourWay(),
+                                    MachineConfig::eightWay()};
+  for (const auto &Fx : Fixtures)
+    for (partition::Scheme S : Schemes) {
+      PipelineRun Run = compileSrc(Fx.Src, S);
+      for (const MachineConfig &M : Machines) {
+        std::string Label = std::string(Fx.Name) + "/" +
+                            partition::schemeName(S) + "/" + M.Name;
+        SimStats Ref = runPath(Run, M, /*Fast=*/false);
+        SimStats Fast = runPath(Run, M, /*Fast=*/true);
+        expectStatsEqual(Ref, Fast, Label);
+        // The packed overload must agree with the entry-vector one.
+        Simulator Sim(M, Run.Alloc);
+        Sim.setFastPath(true);
+        Sim.setSampling({});
+        expectStatsEqual(Ref, Sim.run(Run.packedTrace()), Label + "/packed");
+      }
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// (b) Telemetry with cycle skipping: the stall partition holds and the
+// whole breakdown is bit-identical to the per-cycle reference feed.
+//===----------------------------------------------------------------------===//
+
+TEST(FastPath, TelemetryIdenticalWithCycleSkipping) {
+  // The multiply chain stalls for long spans (6-cycle dependent ops),
+  // so the fast path exercises bulk-emitted skipped cycles heavily.
+  std::string Mul = "func main() {\nentry:\n  li %a, 3\n";
+  for (int I = 0; I < 200; ++I)
+    Mul += "  mul %a, %a, %a\n";
+  Mul += "  out %a\n  ret\n}\n";
+
+  const struct {
+    const char *Name;
+    std::string Src;
+    partition::Scheme Scheme;
+  } Cases[] = {
+      {"mulchain", Mul, partition::Scheme::None},
+      {"invalidate", fixtures::InvalidateForCall, partition::Scheme::Advanced},
+      {"rand", fixtures::MemoryFreeRand, partition::Scheme::Advanced},
+  };
+  for (const auto &C : Cases) {
+    PipelineRun Run = compileSrc(C.Src.c_str(), C.Scheme);
+    for (const MachineConfig &M :
+         {MachineConfig::fourWay(), MachineConfig::eightWay()}) {
+      stats::StallBreakdown Ref, Fast;
+      SimStats RS = runPath(Run, M, /*Fast=*/false, &Ref);
+      SimStats FS = runPath(Run, M, /*Fast=*/true, &Fast);
+      std::string Label = std::string(C.Name) + "/" + M.Name;
+      expectStatsEqual(RS, FS, Label);
+      EXPECT_TRUE(Fast.partitionHolds()) << Label;
+      EXPECT_EQ(Fast.Cycles, FS.Cycles) << Label;
+      expectBreakdownsEqual(Ref, Fast, Label);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// (c) PackedTrace round-trips every TraceEntry field.
+//===----------------------------------------------------------------------===//
+
+TEST(PackedTraceTest, RoundTripsEveryEntryField) {
+  for (const char *Src :
+       {fixtures::IntVectorSum, fixtures::InvalidateForCall,
+        fixtures::MemoryFreeRand}) {
+    PipelineRun Run = compileSrc(Src, partition::Scheme::Advanced);
+    const std::vector<vm::TraceEntry> &Trace = Run.refTrace();
+    PackedTrace PT = PackedTrace::build(Trace, Run.Alloc);
+    ASSERT_EQ(PT.size(), Trace.size());
+    for (size_t I = 0; I < Trace.size(); ++I) {
+      vm::TraceEntry E = PT.entry(I);
+      ASSERT_EQ(E.I, Trace[I].I) << "entry " << I;
+      ASSERT_EQ(E.Pc, Trace[I].Pc) << "entry " << I;
+      ASSERT_EQ(E.MemAddr, Trace[I].MemAddr) << "entry " << I;
+      ASSERT_EQ(E.Taken, Trace[I].Taken) << "entry " << I;
+    }
+    // The bulk reconstruction agrees with the per-entry one.
+    std::vector<vm::TraceEntry> Rebuilt = PT.entries();
+    ASSERT_EQ(Rebuilt.size(), Trace.size());
+    // And a partitioned trace must carry the FPa marker.
+    if (Run.Stats.Fpa > 0) {
+      EXPECT_TRUE(PT.HasFpa);
+    }
+  }
+}
+
+TEST(PackedTraceTest, CachedOnTraceHandleAcrossMachines) {
+  PipelineRun Run =
+      compileSrc(fixtures::IntVectorSum, partition::Scheme::Advanced);
+  const PackedTrace &A = Run.packedTrace();
+  const PackedTrace &B = Run.packedTrace();
+  EXPECT_EQ(&A, &B); // Built once, shared by every machine sweep.
+  EXPECT_EQ(A.size(), Run.refTrace().size());
+  EXPECT_EQ(Run.Trace->Captures, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// (d) Sampled simulation: deterministic for a fixed spec, clearly
+// marked, never silently active.
+//===----------------------------------------------------------------------===//
+
+TEST(SampledSim, SpecParsing) {
+  SampleSpec S;
+  EXPECT_TRUE(SampleSpec::parse("100:1000:5000", S));
+  EXPECT_EQ(S.Warmup, 100u);
+  EXPECT_EQ(S.Window, 1000u);
+  EXPECT_EQ(S.Stride, 5000u);
+  EXPECT_TRUE(S.enabled());
+
+  EXPECT_TRUE(SampleSpec::parse("0:0:0", S));
+  EXPECT_FALSE(S.enabled()); // Window 0 = disabled.
+
+  for (const char *Bad : {"", "1:2", "1:2:3:4", "a:b:c", "1:2:", "-1:2:3",
+                          "1: 2:3"}) {
+    SampleSpec T;
+    EXPECT_FALSE(SampleSpec::parse(Bad, T)) << "'" << Bad << "'";
+  }
+}
+
+TEST(SampledSim, DeterministicAndMarked) {
+  PipelineRun Run =
+      compileSrc(fixtures::InvalidateForCall, partition::Scheme::Advanced);
+  const MachineConfig M = MachineConfig::fourWay();
+  SimStats Full = runPath(Run, M, /*Fast=*/true);
+
+  SampleSpec Spec;
+  ASSERT_TRUE(SampleSpec::parse("50:100:400", Spec));
+  auto RunSampled = [&] {
+    Simulator Sim(M, Run.Alloc);
+    Sim.setFastPath(true);
+    Sim.setSampling(Spec);
+    return Sim.run(Run.refTrace());
+  };
+  SimStats A = RunSampled();
+  SimStats B = RunSampled();
+
+  EXPECT_TRUE(A.Sampled);
+  EXPECT_GT(A.SampledInstructions, 0u);
+  EXPECT_LT(A.SampledInstructions, A.Instructions);
+  EXPECT_EQ(A.Instructions, Full.Instructions); // Trace length is exact.
+  EXPECT_FALSE(Full.Sampled);
+
+  // Same spec, same trace -> bit-identical extrapolation.
+  expectStatsEqual(A, B, "sampled determinism");
+  EXPECT_EQ(A.SampledInstructions, B.SampledInstructions);
+  EXPECT_EQ(A.SampledCycles, B.SampledCycles);
+
+  // The extrapolation is in the right ballpark on this steady loop.
+  EXPECT_GT(A.Cycles, Full.Cycles / 2);
+  EXPECT_LT(A.Cycles, Full.Cycles * 2);
+
+  // A warmup longer than every segment degrades to the exact run.
+  SampleSpec Degenerate;
+  ASSERT_TRUE(SampleSpec::parse("1000000:10:2000000", Degenerate));
+  Simulator Sim(M, Run.Alloc);
+  Sim.setFastPath(true);
+  Sim.setSampling(Degenerate);
+  SimStats D = Sim.run(Run.refTrace());
+  EXPECT_FALSE(D.Sampled);
+  EXPECT_EQ(D.Cycles, Full.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// SafetyLimit overrun: a typed, reportable condition on both paths.
+//===----------------------------------------------------------------------===//
+
+TEST(Overrun, PathologicalConfigThrowsTypedError) {
+  PipelineRun Run =
+      compileSrc(fixtures::IntVectorSum, partition::Scheme::None);
+  MachineConfig Wedged = MachineConfig::fourWay();
+  Wedged.IntUnits = 0; // Integer code can never issue: no progress.
+  for (bool Fast : {false, true}) {
+    Simulator Sim(Wedged, Run.Alloc);
+    Sim.setFastPath(Fast);
+    Sim.setSampling({});
+    try {
+      Sim.run(Run.refTrace());
+      FAIL() << "expected SimulationOverrun (fast=" << Fast << ")";
+    } catch (const SimulationOverrun &O) {
+      EXPECT_GT(O.Cycle, O.Limit);
+      EXPECT_EQ(O.TraceSize, Run.refTrace().size());
+      EXPECT_LT(O.Retired, O.TraceSize);
+      EXPECT_NE(std::string(O.what()).find("overrun"), std::string::npos);
+    }
+  }
+}
+
+} // namespace

@@ -311,6 +311,11 @@ void fillRegistry(stats::StatsRegistry &Reg, const PipelineRun &Run,
     Sim.setEventSink(&B);
     SimStats S = Sim.run(Run.refTrace());
     S.Telemetry = std::make_shared<stats::StallBreakdown>(B);
+    // Wall time is nondeterministic; pin it so report dumps (and the
+    // derived cycles-per-second) compare byte-for-byte across calls,
+    // while staying nonzero so diffReports still emits its
+    // informational sim_wall_ms row.
+    S.SimWallMs = 1.0;
     Reg.record(Name, Run.Config, M, S);
   }
 }
@@ -422,7 +427,16 @@ TEST(Report, DiffPassesOnIdenticalTrees) {
   stats::DiffResult R = stats::diffReports(A, B, stats::DiffOptions());
   EXPECT_TRUE(R.clean());
   EXPECT_EQ(R.Regressions, 0u);
-  EXPECT_EQ(R.Deltas.size(), 4u); // cycles + ipc per run, 2 runs.
+  // cycles + ipc + informational sim_wall_ms per run, 2 runs.
+  EXPECT_EQ(R.Deltas.size(), 6u);
+  unsigned Informational = 0;
+  for (const stats::MetricDelta &D : R.Deltas)
+    if (D.Informational) {
+      EXPECT_EQ(D.Metric, "sim_wall_ms");
+      EXPECT_FALSE(D.Regression); // Wall time never gates.
+      ++Informational;
+    }
+  EXPECT_EQ(Informational, 2u);
 }
 
 TEST(Report, DiffFlagsInjectedRegression) {

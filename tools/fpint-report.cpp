@@ -150,11 +150,15 @@ int main(int argc, char **argv) {
     for (const std::string &P : R.Problems)
       Problems.push_back(KV.first + ": " + P);
     for (const stats::MetricDelta &D : R.Deltas) {
+      // Informational metrics (sim_wall_ms) never gate and are noisy
+      // by nature; show them only on request.
+      if (D.Informational && !ShowAll)
+        continue;
       if (!ShowAll && !D.Regression && D.Base == D.Current)
         continue;
       T.addRow({KV.first, D.RunId, D.Metric, fmtMetric(D.Base),
                 fmtMetric(D.Current), Table::pct(D.DeltaPct / 100.0, 2),
-                D.Regression ? "REGRESSED" : "ok"});
+                D.Regression ? "REGRESSED" : D.Informational ? "info" : "ok"});
     }
   }
 
