@@ -1,0 +1,136 @@
+//===- serve/Protocol.h - fpint-serve wire protocol -----------------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation-as-a-service wire protocol (see docs/SERVING.md for
+/// the field-by-field spec). A connection carries a sequence of frames
+/// in both directions; each frame is a 4-byte little-endian length
+/// followed by that many bytes of UTF-8 JSON.
+///
+/// Request document:
+///
+///   { "op": "compile" | "stats" | "ping",        // default "compile"
+///     "module": "<sir assembly text>",           // compile only
+///     "name": "<display label>",                 // optional
+///     "pipeline": { ...PipelineConfig subset... },
+///     "machine": { "base": "4-way"|"8-way", ...overrides... },
+///     "simulate": true }                         // default true
+///
+/// Response document (written by serve::Server):
+///
+///   { "schema": "fpint-serve-response-v1",
+///     "body": { "status": "ok", "result": {...} }
+///           | { "status": "error", "error": { "kind": ..., ... } },
+///     "cache": { "tier": "memory"|"disk"|"none", ...counters... } }
+///
+/// The "body" subtree is the deterministic, content-addressed unit:
+/// equal requests always produce byte-identical bodies (volatile
+/// fields like simulator wall time are zeroed), which is what the
+/// disk cache stores and what the CI smoke test byte-diffs cold
+/// against warm. The "cache" envelope is per-response metadata and is
+/// never cached.
+///
+/// Parsing is strict: unknown members anywhere in a request are
+/// rejected, so a typo ("schme") fails loudly instead of silently
+/// compiling under defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FPINT_SERVE_PROTOCOL_H
+#define FPINT_SERVE_PROTOCOL_H
+
+#include "core/Pipeline.h"
+#include "support/Json.h"
+#include "timing/MachineConfig.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fpint {
+namespace serve {
+
+/// Response (and cache-entry) schema tag. Bump when the body layout
+/// changes; the disk cache folds it into its schema stamp so stale
+/// entries self-invalidate.
+extern const char *const ResponseSchema;
+
+//===----------------------------------------------------------------------===//
+// Framing.
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one readFrame() call.
+enum class FrameStatus {
+  Ok,        ///< A complete frame was read.
+  Eof,       ///< Clean end of stream before any length byte.
+  Truncated, ///< Stream ended mid-length or mid-payload.
+  Oversized, ///< Declared length exceeds the caller's limit.
+  IoError,   ///< read() failed.
+};
+
+/// Reads one length-prefixed frame from \p Fd into \p Out. A declared
+/// length above \p MaxBytes returns Oversized without consuming the
+/// payload (the stream is no longer framed; the caller must close the
+/// connection). Retries EINTR; blocking fd expected.
+FrameStatus readFrame(int Fd, size_t MaxBytes, std::string &Out);
+
+/// Writes one length-prefixed frame. Returns false on a write error
+/// (e.g. the peer disconnected).
+bool writeFrame(int Fd, const std::string &Payload);
+
+//===----------------------------------------------------------------------===//
+// Requests.
+//===----------------------------------------------------------------------===//
+
+enum class RequestOp { Compile, Stats, Ping };
+
+/// A validated compile+measure request.
+struct Request {
+  RequestOp Op = RequestOp::Compile;
+  std::string ModuleText; ///< sir assembly (Compile only).
+  std::string Name;       ///< Display label (defaults to "mod-<hash8>").
+  core::PipelineConfig Pipeline;
+  timing::MachineConfig Machine;
+  /// Non-empty when the request overrides the machine display name;
+  /// MachineConfig::Name is a const char* so the string lives here.
+  std::string MachineName;
+  bool Simulate = true;
+};
+
+/// Parses and strictly validates \p Text into \p Out. Returns false
+/// with a diagnostic in \p Err on malformed JSON, unknown members,
+/// kind-mismatched fields, or out-of-range values. Never executes
+/// anything.
+bool parseRequest(const std::string &Text, Request &Out, std::string &Err);
+
+/// The pipeline half of a request, serialized back to the canonical
+/// RunCache key form (module name deliberately excluded -- the name is
+/// a display label, the module *text* addresses the content).
+std::string pipelineCacheKey(const core::PipelineConfig &Config);
+
+//===----------------------------------------------------------------------===//
+// Deterministic response bodies.
+//===----------------------------------------------------------------------===//
+
+/// Builds the "ok" body for a completed run: partition statistics,
+/// per-pass compile telemetry, and (when \p Sim is non-null) the
+/// simulation stats with wall-clock fields zeroed so the body is a
+/// pure function of the request.
+json::Value okBody(const core::PipelineRun &Run, const timing::SimStats *Sim);
+
+/// Builds an "error" body. Deterministic kinds ("parse_error",
+/// "compile_error", "overrun") are cacheable; transport/sandbox kinds
+/// ("bad_request", "crash", "timeout", "spawn_failed", "internal")
+/// are not (see Server::handleRequest).
+json::Value errorBody(const std::string &Kind, const std::string &Detail);
+
+/// Whether an error of \p Kind is a deterministic function of the
+/// request (and may therefore be cached and replayed).
+bool isDeterministicErrorKind(const std::string &Kind);
+
+} // namespace serve
+} // namespace fpint
+
+#endif // FPINT_SERVE_PROTOCOL_H

@@ -3,9 +3,11 @@
 #include "stats/Report.h"
 
 #include "core/RunCache.h"
+#include "support/Hash.h"
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 
 using namespace fpint;
 using namespace fpint::stats;
@@ -164,27 +166,43 @@ Value stats::simStatsToJson(const timing::SimStats &S) {
   return V;
 }
 
-/// Platform-stable 64-bit FNV-1a (std::hash is not stable across
-/// implementations, and ids are committed in golden baselines).
-static uint64_t fnv1a64(const std::string &S) {
-  uint64_t H = 1469598103934665603ULL;
-  for (char C : S) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 1099511628211ULL;
-  }
-  return H;
-}
-
 std::string stats::runId(const std::string &Workload,
                          const core::PipelineConfig &Pipeline,
                          const timing::MachineConfig &Machine) {
-  uint64_t H = fnv1a64(core::RunCache::runKey(Workload, Pipeline) + "|" +
+  // support::fnv1a64 is platform-stable (std::hash is not), and ids
+  // are committed in golden baselines.
+  uint64_t H =
+      support::fnv1a64(core::RunCache::runKey(Workload, Pipeline) + "|" +
                        Machine.canonicalKey());
   char Tag[12];
   std::snprintf(Tag, sizeof(Tag), "%08" PRIx64,
                 static_cast<uint64_t>((H & 0xffffffffULL) ^ (H >> 32)));
   return Workload + "/" + partition::schemeName(Pipeline.Scheme) + "/" +
          Machine.Name + "#" + Tag;
+}
+
+bool stats::writeReportDoc(const std::string &OutDir, const std::string &Name,
+                           const json::Value &Doc, std::string *Err) {
+  std::error_code EC;
+  std::filesystem::create_directories(OutDir, EC);
+  if (EC) {
+    if (Err)
+      *Err = "cannot create " + OutDir + ": " + EC.message();
+    return false;
+  }
+  const std::string Path = OutDir + "/" + Name + ".json";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  const std::string Text = Doc.dump() + "\n";
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok && Err)
+    *Err = "short write to " + Path;
+  return Ok;
 }
 
 //===----------------------------------------------------------------------===//
@@ -306,5 +324,34 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
       }
     }
   }
+
+  // Optional top-level metric objects ("run_cache" memoization
+  // counters, "serve" latency/throughput from fpint-loadgen): compared
+  // member-by-member when both trees carry them, but strictly
+  // informational -- cache hit rates and wall-clock service latency
+  // are environment-dependent and never gate.
+  auto diffInfoObject = [&](const char *Key) {
+    const Value *BO = Base.find(Key);
+    const Value *CO = Current.find(Key);
+    if (!BO || !BO->isObject() || !CO || !CO->isObject())
+      return;
+    for (const auto &KV : BO->members()) {
+      if (!KV.second.isNumber())
+        continue;
+      const Value *CV = CO->find(KV.first);
+      if (!CV || !CV->isNumber())
+        continue;
+      MetricDelta D;
+      D.RunId = Key;
+      D.Metric = KV.first;
+      D.Base = KV.second.number();
+      D.Current = CV->number();
+      D.DeltaPct = D.Base != 0 ? (D.Current - D.Base) / D.Base * 100.0 : 0.0;
+      D.Informational = true;
+      R.Deltas.push_back(std::move(D));
+    }
+  };
+  diffInfoObject("run_cache");
+  diffInfoObject("serve");
   return R;
 }

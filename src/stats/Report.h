@@ -58,6 +58,13 @@ std::string runId(const std::string &Workload,
                   const core::PipelineConfig &Pipeline,
                   const timing::MachineConfig &Machine);
 
+/// Writes \p Doc (canonical dump, newline-terminated) to
+/// <OutDir>/<Name>.json, creating OutDir. Shared by StatsRegistry and
+/// the serving load generator so every report lands on disk the same
+/// way. Returns false with \p Err set on I/O failure.
+bool writeReportDoc(const std::string &OutDir, const std::string &Name,
+                    const json::Value &Doc, std::string *Err);
+
 //===----------------------------------------------------------------------===//
 // Report diffing (the regression gate's engine).
 //===----------------------------------------------------------------------===//
@@ -95,7 +102,11 @@ struct DiffResult {
 /// are gated against the tolerance, instruction-count changes are
 /// reported as problems (a changed dynamic instruction count means the
 /// compiler changed, not just the machine). Runs only in \p Current
-/// are ignored (new coverage is not a regression).
+/// are ignored (new coverage is not a regression). The optional
+/// top-level "run_cache" and "serve" objects (memoization counters and
+/// fpint-loadgen serving metrics) are compared member-by-member when
+/// both documents carry them, but always as informational deltas --
+/// cache hit rates and service latency never gate a PR.
 DiffResult diffReports(const json::Value &Base, const json::Value &Current,
                        const DiffOptions &Opts);
 

@@ -2,8 +2,7 @@
 
 #include "stats/StatsRegistry.h"
 
-#include <cstdio>
-#include <filesystem>
+#include "core/RunCache.h"
 
 using namespace fpint;
 using namespace fpint::stats;
@@ -52,32 +51,24 @@ json::Value StatsRegistry::reportJson(const std::string &BinaryName) const {
     Runs.push(std::move(Run));
   }
   Doc.set("runs", std::move(Runs));
+  // In-memory memoization counters of this process, so in-process
+  // (RunCache) and on-disk (fpint-serve) hit rates are separable in
+  // fpint-report. Misses count distinct keys and hits the replays, so
+  // the numbers are scheduling-independent and safe to byte-diff.
+  const core::RunCache::Stats CS = core::RunCache::global().stats();
+  json::Value RC = json::Value::object();
+  RC.set("compile_hits", CS.CompileHits);
+  RC.set("compile_misses", CS.CompileMisses);
+  RC.set("sim_hits", CS.SimHits);
+  RC.set("sim_misses", CS.SimMisses);
+  Doc.set("run_cache", std::move(RC));
   return Doc;
 }
 
 bool StatsRegistry::writeReport(const std::string &OutDir,
                                 const std::string &BinaryName,
                                 std::string *Err) const {
-  std::error_code EC;
-  std::filesystem::create_directories(OutDir, EC);
-  if (EC) {
-    if (Err)
-      *Err = "cannot create " + OutDir + ": " + EC.message();
-    return false;
-  }
-  const std::string Path = OutDir + "/" + BinaryName + ".json";
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    if (Err)
-      *Err = "cannot open " + Path;
-    return false;
-  }
-  const std::string Text = reportJson(BinaryName).dump() + "\n";
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
-  bool Ok = Written == Text.size() && std::fclose(F) == 0;
-  if (!Ok && Err)
-    *Err = "short write to " + Path;
-  return Ok;
+  return writeReportDoc(OutDir, BinaryName, reportJson(BinaryName), Err);
 }
 
 void StatsRegistry::clear() {

@@ -21,8 +21,10 @@
 ///
 /// Instrumented sites: "compile" (core::compileAndMeasure), "simulate"
 /// (core::simulate), "cell" (bench::runMatrix sandboxed cell), "oracle"
-/// (testgen::runOracle). The hooks are inert unless FPINT_FAULT is set;
-/// CI's fault-injection job is the only intended user.
+/// (testgen::runOracle), "serve" (serve::Server miss execution, fired
+/// inside the sandbox child or the in-process path). The hooks are
+/// inert unless FPINT_FAULT is set; CI's fault-injection and
+/// serve-smoke jobs are the only intended users.
 ///
 //===----------------------------------------------------------------------===//
 

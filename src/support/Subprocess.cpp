@@ -53,6 +53,34 @@ bool drainFd(int Fd, std::string &Out) {
   }
 }
 
+/// Owns both ends of a pipe(); whatever is still open at scope exit is
+/// closed. Every early-return path (second pipe() failing, fork
+/// failing) releases its descriptors structurally instead of by
+/// hand-written close() sequences.
+struct ScopedPipe {
+  int Fds[2] = {-1, -1};
+
+  ~ScopedPipe() {
+    closeRead();
+    closeWrite();
+  }
+  bool open() { return pipe(Fds) == 0; }
+  int readFd() const { return Fds[0]; }
+  int writeFd() const { return Fds[1]; }
+  void closeRead() {
+    if (Fds[0] >= 0) {
+      close(Fds[0]);
+      Fds[0] = -1;
+    }
+  }
+  void closeWrite() {
+    if (Fds[1] >= 0) {
+      close(Fds[1]);
+      Fds[1] = -1;
+    }
+  }
+};
+
 void applyRlimits(const SandboxLimits &Limits) {
   if (Limits.CpuSeconds > 0) {
     struct rlimit RL;
@@ -117,41 +145,34 @@ std::string TaskResult::describe() const {
 TaskResult Subprocess::run(const ChildFn &Fn, const SandboxLimits &Limits) {
   TaskResult R;
 
-  int PayloadPipe[2] = {-1, -1};
-  int StderrPipe[2] = {-1, -1};
-  if (pipe(PayloadPipe) != 0)
+  // All four descriptors are scope-owned: if the second pipe() or the
+  // fork() fails, the destructors release whatever was opened and the
+  // caller sees SpawnFailed with the parent's fd table unchanged.
+  ScopedPipe PayloadPipe, StderrPipe;
+  if (!PayloadPipe.open() || !StderrPipe.open())
     return R;
-  if (pipe(StderrPipe) != 0) {
-    close(PayloadPipe[0]);
-    close(PayloadPipe[1]);
-    return R;
-  }
 
   const double Start = nowSeconds();
   // The child re-flushes inherited stdio buffers on exit; empty them
   // here so buffered parent output is not duplicated per fork.
   std::fflush(nullptr);
   pid_t Pid = fork();
-  if (Pid < 0) {
-    for (int Fd : {PayloadPipe[0], PayloadPipe[1], StderrPipe[0],
-                   StderrPipe[1]})
-      close(Fd);
+  if (Pid < 0)
     return R;
-  }
 
   if (Pid == 0) {
     // Child: own process group (so the supervisor can kill everything
     // we might spawn), stderr onto the capture pipe, rlimits, task.
     setpgid(0, 0);
-    close(PayloadPipe[0]);
-    close(StderrPipe[0]);
-    dup2(StderrPipe[1], 2);
-    close(StderrPipe[1]);
+    PayloadPipe.closeRead();
+    StderrPipe.closeRead();
+    dup2(StderrPipe.writeFd(), 2);
+    StderrPipe.closeWrite();
     signal(SIGPIPE, SIG_IGN);
     applyRlimits(Limits);
     int Code = 125;
     try {
-      Code = Fn(PayloadPipe[1]);
+      Code = Fn(PayloadPipe.writeFd());
     } catch (const std::exception &E) {
       std::fprintf(stderr, "[subprocess] uncaught exception: %s\n", E.what());
       Code = 125;
@@ -167,10 +188,10 @@ TaskResult Subprocess::run(const ChildFn &Fn, const SandboxLimits &Limits) {
 
   // Parent / supervisor.
   setpgid(Pid, Pid); // Mirror the child's setpgid (wins either way).
-  close(PayloadPipe[1]);
-  close(StderrPipe[1]);
-  setNonBlocking(PayloadPipe[0]);
-  setNonBlocking(StderrPipe[0]);
+  PayloadPipe.closeWrite();
+  StderrPipe.closeWrite();
+  setNonBlocking(PayloadPipe.readFd());
+  setNonBlocking(StderrPipe.readFd());
 
   std::string StderrAll;
   const double WallDeadline =
@@ -183,9 +204,9 @@ TaskResult Subprocess::run(const ChildFn &Fn, const SandboxLimits &Limits) {
 
   for (;;) {
     if (PayloadOpen)
-      PayloadOpen = drainFd(PayloadPipe[0], R.Payload);
+      PayloadOpen = drainFd(PayloadPipe.readFd(), R.Payload);
     if (StderrOpen)
-      StderrOpen = drainFd(StderrPipe[0], StderrAll);
+      StderrOpen = drainFd(StderrPipe.readFd(), StderrAll);
 
     pid_t W = wait4(Pid, &Status, WNOHANG, &Ru);
     if (W == Pid)
@@ -207,19 +228,19 @@ TaskResult Subprocess::run(const ChildFn &Fn, const SandboxLimits &Limits) {
     struct pollfd Fds[2];
     nfds_t NFds = 0;
     if (PayloadOpen)
-      Fds[NFds++] = {PayloadPipe[0], POLLIN, 0};
+      Fds[NFds++] = {PayloadPipe.readFd(), POLLIN, 0};
     if (StderrOpen)
-      Fds[NFds++] = {StderrPipe[0], POLLIN, 0};
+      Fds[NFds++] = {StderrPipe.readFd(), POLLIN, 0};
     poll(NFds ? Fds : nullptr, NFds, 20);
   }
 
   // Drain whatever the pipes still buffer, then close.
   while (PayloadOpen)
-    PayloadOpen = drainFd(PayloadPipe[0], R.Payload);
+    PayloadOpen = drainFd(PayloadPipe.readFd(), R.Payload);
   while (StderrOpen)
-    StderrOpen = drainFd(StderrPipe[0], StderrAll);
-  close(PayloadPipe[0]);
-  close(StderrPipe[0]);
+    StderrOpen = drainFd(StderrPipe.readFd(), StderrAll);
+  PayloadPipe.closeRead();
+  StderrPipe.closeRead();
 
   R.WallSeconds = nowSeconds() - Start;
   R.PeakRssKb = Ru.ru_maxrss;

@@ -24,7 +24,10 @@
 /// the run cache). The harnesses guarantee this by dispatching all
 /// sandboxed work from the orchestration thread, never from pool
 /// workers. The child runs the callable and _exit()s; it never
-/// returns into the caller's stack.
+/// returns into the caller's stack. The one documented relaxation is
+/// the fpint-serve daemon, which forks from pool workers but confines
+/// the child to self-contained compile/simulate code (no shared
+/// caches, registries, or other parent locks); see serve/Server.h.
 ///
 //===----------------------------------------------------------------------===//
 

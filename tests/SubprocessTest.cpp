@@ -17,10 +17,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
+#include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
 
 using namespace fpint;
 using namespace fpint::support;
@@ -177,6 +184,88 @@ TEST(Subprocess, FaultAttemptCounterIsInheritedByChild) {
   fault::setAttempt(1);
   EXPECT_TRUE(R.ok()) << R.describe();
   EXPECT_EQ(R.Payload, "alive");
+}
+
+/// Restores RLIMIT_NOFILE and closes filler fds even when an
+/// EXPECT/ASSERT bails out of the test early (later tests open fds).
+struct FdSqueeze {
+  struct rlimit Old;
+  std::vector<int> Fillers;
+  bool Active = false;
+
+  ~FdSqueeze() {
+    for (int Fd : Fillers)
+      close(Fd);
+    if (Active)
+      setrlimit(RLIMIT_NOFILE, &Old);
+  }
+
+  /// Lowers the fd limit and fills every free slot except \p Spare.
+  bool squeeze(size_t Spare) {
+    if (getrlimit(RLIMIT_NOFILE, &Old) != 0)
+      return false;
+    Active = true;
+    struct rlimit RL = Old;
+    RL.rlim_cur = highestOpenFd() + 8;
+    if (setrlimit(RLIMIT_NOFILE, &RL) != 0)
+      return false;
+    for (;;) {
+      int Fd = dup(0);
+      if (Fd < 0)
+        break;
+      Fillers.push_back(Fd);
+    }
+    for (size_t I = 0; I < Spare && !Fillers.empty(); ++I) {
+      close(Fillers.back());
+      Fillers.pop_back();
+    }
+    return true;
+  }
+
+  static int highestOpenFd() {
+    int Highest = 2;
+    for (const auto &E :
+         std::filesystem::directory_iterator("/proc/self/fd"))
+      Highest = std::max(Highest, std::atoi(E.path().filename().c_str()));
+    return Highest;
+  }
+
+  static size_t openFdCount() {
+    size_t N = 0;
+    for ([[maybe_unused]] const auto &E :
+         std::filesystem::directory_iterator("/proc/self/fd"))
+      ++N;
+    return N;
+  }
+};
+
+TEST(Subprocess, SpawnFailureLeaksNoDescriptors) {
+  // Force the stderr pipe() to fail mid-spawn: leave exactly three
+  // free fd slots, so the payload pipe (two fds) opens and the stderr
+  // pipe cannot. run() must report SpawnFailed and release the payload
+  // pipe's descriptors -- the parent's fd table is unchanged. (Fork
+  // failure is not forcible here: RLIMIT_NPROC is not enforced for
+  // root, which is what CI containers run as.)
+  FdSqueeze Squeeze;
+  ASSERT_TRUE(Squeeze.squeeze(3));
+  const size_t Before = FdSqueeze::openFdCount();
+
+  TaskResult R = Subprocess::run([](int) { return 0; }, quickLimits());
+  EXPECT_EQ(R.St, TaskResult::Status::SpawnFailed);
+  EXPECT_EQ(R.describe(), "spawn failed");
+  EXPECT_EQ(FdSqueeze::openFdCount(), Before);
+
+  // One free slot: even the first pipe() fails; still no leak. (The
+  // remaining slot keeps /proc/self/fd scans possible.)
+  for (int I = 0; I < 2; ++I) {
+    int Fd = dup(0);
+    if (Fd >= 0)
+      Squeeze.Fillers.push_back(Fd);
+  }
+  const size_t Before2 = FdSqueeze::openFdCount();
+  R = Subprocess::run([](int) { return 0; }, quickLimits());
+  EXPECT_EQ(R.St, TaskResult::Status::SpawnFailed);
+  EXPECT_EQ(FdSqueeze::openFdCount(), Before2);
 }
 
 } // namespace

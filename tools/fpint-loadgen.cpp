@@ -1,0 +1,408 @@
+//===- tools/fpint-loadgen.cpp - fpint-serve load generator ---------------===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a deterministic mixed hit/miss request schedule against a
+/// running fpint-serve daemon over N concurrent client connections and
+/// reports throughput, latency percentiles, and cache hit rates into
+/// bench_out/serve_load.json (fpint-bench-report-v1, "serve" object --
+/// informational-only in the fpint-report gate).
+///
+///   fpint-loadgen --socket PATH [options]
+///
+///     --requests N      total requests (default 2000)
+///     --clients N       concurrent connections (default 8)
+///     --seed S          schedule seed (default 1); the schedule is a
+///                       pure function of (seed, requests, distinct,
+///                       unique-frac), so re-running with the same
+///                       values replays byte-identical requests -- the
+///                       warm-cache rerun the CI smoke test relies on
+///     --distinct N      size of the shared request pool (default 24)
+///     --unique-frac F   fraction of requests with a once-only module
+///                       (cold-cache misses; default 0.25)
+///     --dump-bodies F   write every response body, in request order,
+///                       to F (cold vs warm runs must be identical)
+///     --min-hit-rate F  exit 1 unless (mem+disk hits)/requests >= F
+///     --out DIR         report directory (default bench_out)
+///     --wait-ms MS      retry window for the daemon socket to appear
+///                       (default 5000)
+///
+/// Exit status: 0 ok, 1 transport failure or hit rate below the
+/// floor, 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "stats/Report.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace fpint;
+
+namespace {
+
+struct Options {
+  std::string SocketPath;
+  unsigned Requests = 2000;
+  unsigned Clients = 8;
+  uint64_t Seed = 1;
+  unsigned Distinct = 24;
+  double UniqueFrac = 0.25;
+  std::string DumpBodies;
+  double MinHitRate = -1.0;
+  std::string OutDir = "bench_out";
+  int WaitMs = 5000;
+};
+
+/// splitmix64: the schedule must be identical across runs and hosts,
+/// so no std:: engine (implementation-defined sequences).
+uint64_t nextRand(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// A small integer vector-sum kernel whose content address varies with
+/// \p Variant via a global initializer (arbitrary 31-bit values are
+/// legal there, unlike immediates).
+std::string makeModule(uint64_t Variant) {
+  int32_t K = static_cast<int32_t>(Variant & 0x7fffffff);
+  std::string S;
+  S += "global a 8 = 3 1 4 1 5 9 2 6\n";
+  S += "global b 8 = 2 7 1 8 2 8 1 8\n";
+  S += "global k 1 = " + std::to_string(K) + "\n";
+  S += "global c 8\n\n";
+  S += "func main() {\n";
+  S += "entry:\n";
+  S += "  li %i, 0\n";
+  S += "  li %n, 8\n";
+  S += "  la %pa, a\n";
+  S += "  la %pb, b\n";
+  S += "  la %pk, k\n";
+  S += "  la %pc, c\n";
+  S += "  lw %vk, 0(%pk)\n";
+  S += "loop:\n";
+  S += "  sll %off, %i, 2\n";
+  S += "  add %ea, %pa, %off\n";
+  S += "  lw %va, 0(%ea)\n";
+  S += "  add %eb, %pb, %off\n";
+  S += "  lw %vb, 0(%eb)\n";
+  S += "  add %vc, %va, %vb\n";
+  S += "  add %vs, %vc, %vk\n";
+  S += "  add %ec, %pc, %off\n";
+  S += "  sw %vs, 0(%ec)\n";
+  S += "  addi %i, %i, 1\n";
+  S += "  slt %t, %i, %n\n";
+  S += "  bne %t, %zero, loop\n";
+  S += "  li %j, 0\n";
+  S += "check:\n";
+  S += "  sll %joff, %j, 2\n";
+  S += "  add %ej, %pc, %joff\n";
+  S += "  lw %vj, 0(%ej)\n";
+  S += "  out %vj\n";
+  S += "  addi %j, %j, 1\n";
+  S += "  slt %t2, %j, %n\n";
+  S += "  bne %t2, %zero, check\n";
+  S += "  ret\n";
+  S += "}\n";
+  return S;
+}
+
+std::string makeRequest(uint64_t Variant, unsigned Point) {
+  static const char *Schemes[] = {"none", "basic", "advanced"};
+  static const char *Bases[] = {"4-way", "8-way"};
+  json::Value Pipeline = json::Value::object();
+  Pipeline.set("scheme", Schemes[Point % 3]);
+  json::Value Machine = json::Value::object();
+  Machine.set("base", Bases[(Point / 3) % 2]);
+  json::Value Doc = json::Value::object();
+  Doc.set("op", "compile");
+  Doc.set("module", makeModule(Variant));
+  Doc.set("pipeline", std::move(Pipeline));
+  Doc.set("machine", std::move(Machine));
+  Doc.set("simulate", true);
+  return Doc.dump();
+}
+
+struct Result {
+  double LatencyMs = 0;
+  std::string Tier; ///< "memory" | "disk" | "none"; "" on transport loss.
+  std::string Body;
+  bool Ok = false; ///< body.status == "ok".
+};
+
+/// One client connection working its r = Tid, Tid+C, Tid+2C, ...
+/// slice of the schedule in order.
+void runClient(const Options &Opts, const std::vector<std::string> &Schedule,
+               unsigned Tid, std::vector<Result> &Results,
+               std::atomic<unsigned> &TransportErrors) {
+  std::string Err;
+  int Fd = serve::connectUnix(Opts.SocketPath, Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "fpint-loadgen: client %u: %s\n", Tid, Err.c_str());
+    TransportErrors.fetch_add(1);
+    return;
+  }
+  for (size_t R = Tid; R < Schedule.size(); R += Opts.Clients) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::string RespText;
+    if (!serve::writeFrame(Fd, Schedule[R]) ||
+        serve::readFrame(Fd, 64u << 20, RespText) != serve::FrameStatus::Ok) {
+      std::fprintf(stderr,
+                   "fpint-loadgen: client %u: transport error at request "
+                   "%zu\n",
+                   Tid, R);
+      TransportErrors.fetch_add(1);
+      break;
+    }
+    auto T1 = std::chrono::steady_clock::now();
+
+    Result &Out = Results[R];
+    Out.LatencyMs =
+        std::chrono::duration<double, std::milli>(T1 - T0).count();
+    json::Value Resp;
+    std::string ParseErr;
+    if (json::Value::parse(RespText, Resp, &ParseErr)) {
+      if (const json::Value *Cache = Resp.find("cache"))
+        Out.Tier = Cache->strOr("tier", "none");
+      if (const json::Value *Body = Resp.find("body")) {
+        Out.Body = Body->dump();
+        Out.Ok = Body->strOr("status", "") == "ok";
+      }
+    }
+  }
+  close(Fd);
+}
+
+/// Connect + ping with retries until the daemon answers or the window
+/// closes.
+bool waitForDaemon(const Options &Opts) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Opts.WaitMs);
+  for (;;) {
+    std::string Err;
+    int Fd = serve::connectUnix(Opts.SocketPath, Err);
+    if (Fd >= 0) {
+      std::string Resp;
+      bool Up = serve::writeFrame(Fd, "{\"op\": \"ping\"}") &&
+                serve::readFrame(Fd, 1u << 20, Resp) ==
+                    serve::FrameStatus::Ok;
+      close(Fd);
+      if (Up)
+        return true;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    usleep(50 * 1000);
+  }
+}
+
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t I = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+int usage(int Status) {
+  std::fprintf(
+      Status ? stderr : stdout,
+      "usage: fpint-loadgen --socket PATH [--requests N] [--clients N]\n"
+      "                     [--seed S] [--distinct N] [--unique-frac F]\n"
+      "                     [--dump-bodies FILE] [--min-hit-rate F]\n"
+      "                     [--out DIR] [--wait-ms MS]\n");
+  return Status;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto needArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "fpint-loadgen: %s needs an argument\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket")
+      Opts.SocketPath = needArg("--socket");
+    else if (A == "--requests")
+      Opts.Requests = static_cast<unsigned>(std::atol(needArg("--requests")));
+    else if (A == "--clients")
+      Opts.Clients = static_cast<unsigned>(std::atol(needArg("--clients")));
+    else if (A == "--seed")
+      Opts.Seed = static_cast<uint64_t>(std::atoll(needArg("--seed")));
+    else if (A == "--distinct")
+      Opts.Distinct = static_cast<unsigned>(std::atol(needArg("--distinct")));
+    else if (A == "--unique-frac")
+      Opts.UniqueFrac = std::atof(needArg("--unique-frac"));
+    else if (A == "--dump-bodies")
+      Opts.DumpBodies = needArg("--dump-bodies");
+    else if (A == "--min-hit-rate")
+      Opts.MinHitRate = std::atof(needArg("--min-hit-rate"));
+    else if (A == "--out")
+      Opts.OutDir = needArg("--out");
+    else if (A == "--wait-ms")
+      Opts.WaitMs = static_cast<int>(std::atol(needArg("--wait-ms")));
+    else if (A == "--help" || A == "-h")
+      return usage(0);
+    else {
+      std::fprintf(stderr, "fpint-loadgen: unknown option %s\n", A.c_str());
+      return usage(2);
+    }
+  }
+  if (Opts.SocketPath.empty() || Opts.Requests == 0 || Opts.Clients == 0)
+    return usage(2);
+
+  // Deterministic schedule: pool points repeat (cache hits after first
+  // touch), unique modules miss cold but replay identically on a warm
+  // rerun with the same seed.
+  std::vector<std::string> Schedule;
+  Schedule.reserve(Opts.Requests);
+  uint64_t Rng = Opts.Seed;
+  unsigned Unique = 0;
+  for (unsigned R = 0; R < Opts.Requests; ++R) {
+    uint64_t Draw = nextRand(Rng);
+    bool IsUnique = static_cast<double>(Draw % 10000) / 10000.0 <
+                    Opts.UniqueFrac;
+    unsigned Point = static_cast<unsigned>(nextRand(Rng) %
+                                           std::max(1u, Opts.Distinct));
+    if (IsUnique) {
+      ++Unique;
+      Schedule.push_back(makeRequest(1000000ull + R, Point));
+    } else {
+      Schedule.push_back(makeRequest(Point, Point));
+    }
+  }
+
+  if (!waitForDaemon(Opts)) {
+    std::fprintf(stderr, "fpint-loadgen: no daemon at %s after %d ms\n",
+                 Opts.SocketPath.c_str(), Opts.WaitMs);
+    return 1;
+  }
+
+  std::vector<Result> Results(Opts.Requests);
+  std::atomic<unsigned> TransportErrors{0};
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C < Opts.Clients; ++C)
+    Clients.emplace_back(runClient, std::cref(Opts), std::cref(Schedule), C,
+                         std::ref(Results), std::ref(TransportErrors));
+  for (std::thread &T : Clients)
+    T.join();
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+
+  uint64_t MemHits = 0, DiskHits = 0, Misses = 0, OkBodies = 0,
+           ErrorBodies = 0, Answered = 0;
+  std::vector<double> Latencies;
+  for (const Result &R : Results) {
+    if (R.Tier.empty())
+      continue; // Lost to a transport error; counted separately.
+    ++Answered;
+    Latencies.push_back(R.LatencyMs);
+    if (R.Tier == "memory")
+      ++MemHits;
+    else if (R.Tier == "disk")
+      ++DiskHits;
+    else
+      ++Misses;
+    if (R.Ok)
+      ++OkBodies;
+    else
+      ++ErrorBodies;
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+  double HitRate =
+      Answered ? static_cast<double>(MemHits + DiskHits) / Answered : 0.0;
+
+  json::Value Serve = json::Value::object();
+  Serve.set("requests", static_cast<uint64_t>(Opts.Requests));
+  Serve.set("clients", Opts.Clients);
+  Serve.set("distinct", Opts.Distinct);
+  Serve.set("unique_requests", Unique);
+  Serve.set("answered", Answered);
+  Serve.set("transport_errors",
+            static_cast<uint64_t>(TransportErrors.load()));
+  Serve.set("ok_bodies", OkBodies);
+  Serve.set("error_bodies", ErrorBodies);
+  Serve.set("hits_memory", MemHits);
+  Serve.set("hits_disk", DiskHits);
+  Serve.set("misses", Misses);
+  Serve.set("hit_rate", HitRate);
+  Serve.set("wall_ms", WallMs);
+  Serve.set("throughput_rps",
+            WallMs > 0 ? static_cast<double>(Answered) / (WallMs / 1000.0)
+                       : 0.0);
+  Serve.set("p50_ms", percentile(Latencies, 0.50));
+  Serve.set("p95_ms", percentile(Latencies, 0.95));
+  Serve.set("p99_ms", percentile(Latencies, 0.99));
+
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", stats::ReportSchema);
+  Doc.set("binary", "fpint-loadgen");
+  Doc.set("runs", json::Value::array());
+  Doc.set("serve", std::move(Serve));
+
+  std::string Err;
+  if (!stats::writeReportDoc(Opts.OutDir, "serve_load", Doc, &Err)) {
+    std::fprintf(stderr, "fpint-loadgen: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (!Opts.DumpBodies.empty()) {
+    std::ofstream Out(Opts.DumpBodies, std::ios::binary | std::ios::trunc);
+    for (const Result &R : Results)
+      Out << R.Body << "\n---\n";
+    if (!Out) {
+      std::fprintf(stderr, "fpint-loadgen: cannot write %s\n",
+                   Opts.DumpBodies.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("fpint-loadgen: %llu/%u answered, %llu ok, %llu error; "
+              "hits mem %llu disk %llu, misses %llu (hit rate %.1f%%); "
+              "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, %.0f req/s\n",
+              static_cast<unsigned long long>(Answered), Opts.Requests,
+              static_cast<unsigned long long>(OkBodies),
+              static_cast<unsigned long long>(ErrorBodies),
+              static_cast<unsigned long long>(MemHits),
+              static_cast<unsigned long long>(DiskHits),
+              static_cast<unsigned long long>(Misses), HitRate * 100.0,
+              percentile(Latencies, 0.50), percentile(Latencies, 0.95),
+              percentile(Latencies, 0.99),
+              WallMs > 0 ? static_cast<double>(Answered) / (WallMs / 1000.0)
+                         : 0.0);
+
+  if (TransportErrors.load() > 0)
+    return 1;
+  if (Opts.MinHitRate >= 0 && HitRate < Opts.MinHitRate) {
+    std::fprintf(stderr,
+                 "fpint-loadgen: hit rate %.3f below required %.3f\n",
+                 HitRate, Opts.MinHitRate);
+    return 1;
+  }
+  return 0;
+}
