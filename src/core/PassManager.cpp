@@ -5,6 +5,7 @@
 #include "opt/Passes.h"
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
+#include "transform/Transforms.h"
 
 #include <chrono>
 #include <cstdio>
@@ -215,6 +216,136 @@ private:
   bool Ran = false;
 };
 
+//===----------------------------------------------------------------------===//
+// Mid-end transform passes (src/transform). All gate on
+// RunOptimizations like "opt", so the -noopt oracle variants and the
+// default pipeline are unaffected by their registration.
+//===----------------------------------------------------------------------===//
+
+/// Dominator-ordered global value numbering.
+class GvnPass : public ModulePass {
+public:
+  std::string name() const override { return "gvn"; }
+
+  unsigned run(sir::Module &M, analysis::AnalysisManager &AM,
+               PassState &State) override {
+    LastChanges = 0;
+    if (!configOf(State).RunOptimizations)
+      return 0;
+    for (const auto &F : M.functions()) {
+      unsigned Changes = transform::runGVN(*F, AM);
+      if (Changes)
+        AM.invalidateFunction(*F);
+      LastChanges += Changes;
+    }
+    if (LastChanges)
+      M.renumber();
+    State.Transform.GvnReplaced += LastChanges;
+    return LastChanges;
+  }
+
+  analysis::PreservedAnalyses preserved() const override {
+    return LastChanges == 0 ? analysis::PreservedAnalyses::all()
+                            : analysis::PreservedAnalyses::none();
+  }
+
+private:
+  unsigned LastChanges = 0;
+};
+
+/// Loop-invariant code motion into preheaders.
+class LicmPass : public ModulePass {
+public:
+  std::string name() const override { return "licm"; }
+
+  unsigned run(sir::Module &M, analysis::AnalysisManager &AM,
+               PassState &State) override {
+    LastChanges = 0;
+    if (!configOf(State).RunOptimizations)
+      return 0;
+    for (const auto &F : M.functions())
+      LastChanges += transform::runLICM(*F, AM);
+    if (LastChanges)
+      M.renumber();
+    State.Transform.LicmHoisted += LastChanges;
+    return LastChanges;
+  }
+
+  analysis::PreservedAnalyses preserved() const override {
+    return LastChanges == 0 ? analysis::PreservedAnalyses::all()
+                            : analysis::PreservedAnalyses::none();
+  }
+
+private:
+  unsigned LastChanges = 0;
+};
+
+/// Loop unrolling; Factor 0 is full-unroll only ("unroll"), Factor N
+/// is the "unroll<N>" spelling with partial unrolling by N.
+class UnrollPass : public ModulePass {
+public:
+  explicit UnrollPass(unsigned Factor) : Factor(Factor) {}
+
+  std::string name() const override {
+    return Factor ? "unroll<" + std::to_string(Factor) + ">" : "unroll";
+  }
+
+  unsigned run(sir::Module &M, analysis::AnalysisManager &AM,
+               PassState &State) override {
+    LastChanges = 0;
+    if (!configOf(State).RunOptimizations)
+      return 0;
+    transform::UnrollOptions Opts;
+    Opts.Factor = Factor;
+    for (const auto &F : M.functions()) {
+      transform::UnrollResult R = transform::runUnroll(*F, AM, Opts);
+      State.Transform.LoopsFullyUnrolled += R.FullyUnrolled;
+      State.Transform.LoopsPartiallyUnrolled += R.PartiallyUnrolled;
+      State.Transform.UnrollInstrsAdded += R.InstrsAdded;
+      LastChanges += R.FullyUnrolled + R.PartiallyUnrolled;
+    }
+    if (LastChanges)
+      M.renumber();
+    return LastChanges;
+  }
+
+  analysis::PreservedAnalyses preserved() const override {
+    return LastChanges == 0 ? analysis::PreservedAnalyses::all()
+                            : analysis::PreservedAnalyses::none();
+  }
+
+private:
+  unsigned Factor;
+  unsigned LastChanges = 0;
+};
+
+/// Bottom-up acyclic call-graph inlining.
+class InlinePass : public ModulePass {
+public:
+  std::string name() const override { return "inline"; }
+
+  unsigned run(sir::Module &M, analysis::AnalysisManager &,
+               PassState &State) override {
+    LastChanges = 0;
+    if (!configOf(State).RunOptimizations)
+      return 0;
+    transform::InlineResult R = transform::runInline(M);
+    State.Transform.CallsInlined += R.CallsInlined;
+    State.Transform.InlineSkippedRecursive += R.SkippedRecursive;
+    State.Transform.InlineSkippedBudget += R.SkippedBudget;
+    LastChanges = R.CallsInlined;
+    return LastChanges;
+  }
+
+  analysis::PreservedAnalyses preserved() const override {
+    return LastChanges == 0 ? analysis::PreservedAnalyses::all()
+                            : analysis::PreservedAnalyses::none();
+  }
+
+private:
+  unsigned LastChanges = 0;
+};
+
 /// Structural verification as an explicit pipeline stage (the final
 /// compileAndMeasure verify is separate and unconditional).
 class VerifyPass : public ModulePass {
@@ -325,6 +456,12 @@ PassRegistry &PassRegistry::global() {
     Reg->registerPass("dce", [] {
       return makeSingleOpt("dce", opt::eliminateDeadCode);
     });
+    Reg->registerPass("gvn", [] { return std::make_unique<GvnPass>(); });
+    Reg->registerPass("licm", [] { return std::make_unique<LicmPass>(); });
+    Reg->registerPass("unroll",
+                      [] { return std::make_unique<UnrollPass>(0); });
+    Reg->registerPass("inline",
+                      [] { return std::make_unique<InlinePass>(); });
     Reg->registerPass("profile",
                       [] { return std::make_unique<ProfilePass>(); });
     Reg->registerPass("partition", [] {
@@ -424,6 +561,33 @@ bool parseInto(const std::string &Text,
       Error = "empty pass name in pipeline text '" + Text + "'";
       return false;
     }
+    if (Tok == "opt2") {
+      // Preset: expands in place, so "--passes=opt2" works everywhere
+      // plain pipeline text does.
+      if (!parseInto(core::opt2PipelineText(), Out, Error, Registry))
+        return false;
+      continue;
+    }
+    const std::string UnrollHead = "unroll<";
+    if (Tok.rfind(UnrollHead, 0) == 0 && Tok.back() == '>') {
+      const std::string Num =
+          Tok.substr(UnrollHead.size(), Tok.size() - UnrollHead.size() - 1);
+      unsigned Factor = 0;
+      bool Valid = !Num.empty() && Num.size() <= 2;
+      for (char C : Num) {
+        if (C < '0' || C > '9') {
+          Valid = false;
+          break;
+        }
+        Factor = Factor * 10 + static_cast<unsigned>(C - '0');
+      }
+      if (!Valid || Factor < 2 || Factor > 16) {
+        Error = "invalid unroll factor in '" + Tok + "' (want unroll<2..16>)";
+        return false;
+      }
+      Out.push_back(std::make_unique<UnrollPass>(Factor));
+      continue;
+    }
     const std::string FixpointHead = "fixpoint(";
     if (Tok.rfind(FixpointHead, 0) == 0 && Tok.back() == ')') {
       std::string Inner = Tok.substr(
@@ -463,6 +627,14 @@ bool core::parsePipeline(const std::string &Text,
 
 const char *core::defaultPipelineText() {
   return "opt,profile,partition,fp-arg-passing,regalloc";
+}
+
+const char *core::opt2PipelineText() {
+  // The second "opt" cleans up what the mid-end exposes: inlined arg
+  // moves copy-propagate away, unrolled counter updates fold, and GVN
+  // moves feed DCE.
+  return "opt,gvn,licm,unroll,inline,opt,profile,partition,fp-arg-passing,"
+         "regalloc";
 }
 
 std::string core::effectivePipelineText(const PipelineConfig &Config) {

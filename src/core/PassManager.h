@@ -69,6 +69,7 @@ struct PassState {
   bool HaveProfile = false;
 
   opt::OptReport Opt;
+  transform::MidEndReport Transform;
   partition::ModuleRewrite Rewrite;
   partition::FpArgReport FpArgs;
   regalloc::ModuleAlloc Alloc;
@@ -221,6 +222,13 @@ bool parsePipeline(const std::string &Text,
 /// flow (each stage self-gates on PipelineConfig, so this one text is
 /// correct for every configuration).
 const char *defaultPipelineText();
+
+/// The "opt2" preset: the local optimizer plus the full mid-end (GVN,
+/// LICM, unroll, inline) and a second local cleanup, ahead of the
+/// default back half. The token "opt2" in pipeline text expands to
+/// this; "unroll<N>" selects a partial-unroll factor for the unroll
+/// pass anywhere in pipeline text.
+const char *opt2PipelineText();
 
 /// The text compileAndMeasure will run for \p Config:
 /// Config.Passes if set, else $FPINT_PASSES if set, else the default.

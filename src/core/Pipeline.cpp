@@ -36,6 +36,7 @@ PipelineRun core::compileAndMeasure(const sir::Module &Original,
   Run.PassStats = PM.run(M, AM, State);
 
   Run.Opt = State.Opt;
+  Run.Transform = State.Transform;
   Run.Rewrite = std::move(State.Rewrite);
   Run.FpArgs = State.FpArgs;
   Run.Alloc = std::move(State.Alloc);

@@ -31,6 +31,7 @@
 #include "sir/IR.h"
 #include "timing/MachineConfig.h"
 #include "timing/Simulator.h"
+#include "transform/Transforms.h"
 #include "vm/VM.h"
 
 #include <memory>
@@ -105,6 +106,7 @@ struct PipelineRun {
   partition::ModuleRewrite Rewrite;
   partition::FpArgReport FpArgs; ///< 6.6 extension results (if enabled).
   opt::OptReport Opt;            ///< Pre-partitioning cleanup results.
+  transform::MidEndReport Transform; ///< Mid-end pass results (if run).
   partition::DynStats Stats;  ///< Dynamic accounting on the ref input.
   vm::VM::Result RefResult;   ///< Functional run on the ref input.
   bool OutputsMatchOriginal = false;

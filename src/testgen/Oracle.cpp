@@ -36,6 +36,25 @@ std::vector<VariantSpec> testgen::defaultVariants() {
   return Variants;
 }
 
+std::vector<VariantSpec> testgen::midendVariants() {
+  std::vector<VariantSpec> Variants;
+  auto Add = [&](const std::string &Passes) {
+    VariantSpec V;
+    V.Name = "passes:" + Passes;
+    V.Config.Passes = Passes;
+    V.Config.Scheme = partition::Scheme::Advanced;
+    V.Config.EnableFpArgPassing = true;
+    V.Config.RunOptimizations = true;
+    V.Config.RunRegisterAllocation = true;
+    Variants.push_back(std::move(V));
+  };
+  for (const char *Pass : {"gvn", "licm", "unroll", "unroll<4>", "inline"})
+    Add(std::string("opt,") + Pass +
+        ",profile,partition,fp-arg-passing,regalloc");
+  Add("opt2");
+  return Variants;
+}
+
 namespace {
 
 /// Everything observable about one functional execution.

@@ -52,6 +52,13 @@ struct VariantSpec {
 /// optimizer.
 std::vector<VariantSpec> defaultVariants();
 
+/// The mid-end variant battery: each new transform pass alone on top of
+/// the default flow (gvn, licm, unroll, unroll<4>, inline) plus the
+/// full "opt2" preset pipeline, all under the advanced scheme with
+/// register allocation and FP argument passing. Append these to
+/// OracleOptions::Variants to differentially test the mid-end.
+std::vector<VariantSpec> midendVariants();
+
 struct OracleOptions {
   std::vector<VariantSpec> Variants = defaultVariants();
   std::vector<int32_t> Args;      ///< main() arguments (train == ref).

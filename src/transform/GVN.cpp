@@ -1,0 +1,108 @@
+//===- transform/GVN.cpp - Dominator-ordered value numbering --------------===//
+
+#include "transform/Transforms.h"
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/Dominators.h"
+#include "opt/Passes.h"
+
+#include <functional>
+#include <map>
+#include <tuple>
+
+using namespace fpint;
+using sir::Instruction;
+using sir::Opcode;
+using sir::Reg;
+
+namespace {
+
+/// Value-number key: a pure operation over register ids. Identical to
+/// the local CSE's key so GVN strictly subsumes it.
+struct Expr {
+  Opcode Op;
+  int64_t Imm;
+  uint32_t U0, U1;
+  bool operator<(const Expr &O) const {
+    return std::tie(Op, Imm, U0, U1) < std::tie(O.Op, O.Imm, O.U0, O.U1);
+  }
+};
+
+using ValueTable = std::map<Expr, Reg>;
+
+void invalidateReg(ValueTable &Available, Reg Def) {
+  for (auto It = Available.begin(); It != Available.end();) {
+    bool Kill = It->second == Def || It->first.U0 == Def.id() ||
+                It->first.U1 == Def.id();
+    It = Kill ? Available.erase(It) : std::next(It);
+  }
+}
+
+/// Same candidate set as the local CSE: pure computations with a
+/// meaningful expression key. Moves/constants are copy-prop and
+/// const-fold territory; FPa-marked instructions carry partition state
+/// a replacement would discard.
+bool isCandidate(const Instruction &I) {
+  return opt::isPureInstr(I) && I.op() != Opcode::Move &&
+         I.op() != Opcode::FMove && I.op() != Opcode::CpToFp &&
+         I.op() != Opcode::CpToInt && I.op() != Opcode::Li &&
+         I.op() != Opcode::FLi && I.op() != Opcode::La && !I.inFpa();
+}
+
+unsigned numberBlock(sir::Function &F, sir::BasicBlock &BB,
+                     ValueTable &Available) {
+  unsigned Changed = 0;
+  for (const auto &I : BB.instructions()) {
+    if (isCandidate(*I)) {
+      Expr Key{I->op(), I->imm(), I->uses().size() > 0 ? I->uses()[0].id() : 0,
+               I->uses().size() > 1 ? I->uses()[1].id() : 0};
+      auto It = Available.find(Key);
+      if (It != Available.end() &&
+          F.regClass(It->second) == F.regClass(I->def())) {
+        opt::rewriteInstrToMove(F, *I, It->second);
+        ++Changed;
+        invalidateReg(Available, I->def());
+        continue;
+      }
+      invalidateReg(Available, I->def());
+      // A def that is also an operand (add %a, %a, %b) names the *old*
+      // value of %a in its key; recording it would match later
+      // recomputations over the new value.
+      bool DefIsOperand = false;
+      for (Reg U : I->uses())
+        DefIsOperand |= U == I->def();
+      if (!DefIsOperand)
+        Available.emplace(Key, I->def());
+      continue;
+    }
+    if (I->def().isValid())
+      invalidateReg(Available, I->def());
+  }
+  return Changed;
+}
+
+} // namespace
+
+unsigned transform::runGVN(sir::Function &F, analysis::AnalysisManager &AM) {
+  if (F.blocks().empty())
+    return 0;
+  const analysis::CFG &Cfg = AM.getResult<analysis::CFGAnalysis>(F);
+  const analysis::DominatorTree &DT =
+      AM.getResult<analysis::DominatorTreeAnalysis>(F);
+
+  unsigned Changed = 0;
+  // Walk the dominator tree; a child with a unique CFG predecessor
+  // inherits the table as left by that predecessor (which IS its idom,
+  // so every kill along the one path in was applied in order). Joins
+  // start fresh: without SSA, a value available on only one inbound
+  // path may have been clobbered on the other.
+  std::function<void(unsigned, ValueTable)> Walk = [&](unsigned Block,
+                                                       ValueTable Available) {
+    Changed += numberBlock(F, *F.blocks()[Block], Available);
+    for (unsigned Child : DT.children(Block))
+      Walk(Child, Cfg.predecessors(Child).size() == 1 ? Available
+                                                      : ValueTable());
+  };
+  Walk(0, ValueTable());
+  return Changed;
+}

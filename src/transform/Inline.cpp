@@ -1,0 +1,218 @@
+//===- transform/Inline.cpp - Bottom-up call-graph inlining ---------------===//
+//
+// Callees are cloned into their callers with a fresh register set:
+// layout is [caller prefix + arg moves][callee clone blocks][cont
+// block with the caller suffix], so the caller falls through into the
+// callee's entry clone and every rewritten `ret` jumps to the
+// continuation. A callee register that is never defined reads 0 in the
+// caller's frame exactly as it did in a fresh callee frame (the VM
+// zero-initializes registers), so no pre-initialization is needed.
+//
+// Ret rewriting matches the VM's calling convention: `ret %v` becomes
+// a move into the call's destination; a valueless `ret` returns 0, so
+// it becomes `li dest, 0` when the destination is read. Calls whose
+// destination is unused just jump to the continuation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transforms.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace fpint;
+using sir::BasicBlock;
+using sir::Function;
+using sir::Instruction;
+using sir::Opcode;
+using sir::Reg;
+
+namespace {
+
+unsigned instrCount(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F.blocks())
+    N += static_cast<unsigned>(BB->instructions().size());
+  return N;
+}
+
+/// True when \p F uses its stack frame: frame slots are
+/// per-activation, so such a body cannot be spliced into a caller.
+bool usesFrame(const Function &F) {
+  if (F.frameWords() > 0 || F.isAllocated())
+    return true;
+  bool Frame = false;
+  F.forEachInstr([&](const Instruction &I) { Frame |= I.mem().IsFrame; });
+  return Frame;
+}
+
+/// Splices a clone of \p Callee into \p Caller at call site \p Site.
+void inlineSite(Function &Caller, const Function &Callee, Instruction *Site) {
+  BasicBlock *B = Site->parent();
+  const size_t CallPos = B->positionOf(Site);
+  const Reg CallDef = Site->def();
+  const std::vector<Reg> Args = Site->uses();
+
+  // Fresh class-preserving registers for every callee register.
+  std::vector<Reg> Map(Callee.numRegs());
+  for (uint32_t R = 1; R < Callee.numRegs(); ++R)
+    Map[R] = Caller.newReg(Callee.regClass(Reg(R)));
+  auto MapReg = [&](Reg R) { return R.isValid() ? Map[R.id()] : Reg(); };
+
+  // Clone blocks first, then the continuation, so the appended suffix
+  // [clones..., cont] rotates into place after B in one move.
+  auto &Blocks = Caller.blocks();
+  const size_t OldSize = Blocks.size();
+  std::map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &CB : Callee.blocks())
+    BlockMap[CB.get()] =
+        Caller.addBlock(Callee.name() + "." + CB->name() + ".inl");
+  BasicBlock *Cont = Caller.addBlock(B->name() + ".cont");
+
+  for (const auto &CB : Callee.blocks()) {
+    BasicBlock *NB = BlockMap[CB.get()];
+    for (const auto &I : CB->instructions()) {
+      if (I->op() == Opcode::Ret) {
+        if (CallDef.isValid()) {
+          auto Set = std::make_unique<Instruction>(
+              I->uses().empty() ? Opcode::Li : Opcode::Move);
+          Set->setDef(CallDef);
+          if (!I->uses().empty())
+            Set->uses() = {MapReg(I->uses()[0])};
+          NB->append(std::move(Set));
+        }
+        auto Jump = std::make_unique<Instruction>(Opcode::Jump);
+        Jump->setTarget(Cont);
+        NB->append(std::move(Jump));
+        continue;
+      }
+      auto Clone = std::make_unique<Instruction>(*I);
+      Clone->setDef(MapReg(I->def()));
+      for (Reg &U : Clone->uses())
+        U = MapReg(U);
+      if (Clone->mem().Base.isValid())
+        Clone->mem().Base = MapReg(Clone->mem().Base);
+      if (I->target())
+        Clone->setTarget(BlockMap[I->target()]);
+      NB->append(std::move(Clone));
+    }
+  }
+
+  // The caller's suffix (everything after the call) becomes the
+  // continuation; the call itself is dropped; argument moves take its
+  // place, and B then falls through into the callee's entry clone.
+  auto &Ins = B->instructions();
+  for (size_t Pos = CallPos + 1; Pos < Ins.size(); ++Pos)
+    Cont->append(std::move(Ins[Pos]));
+  Ins.erase(Ins.begin() + CallPos, Ins.end());
+  for (size_t A = 0; A < Args.size(); ++A) {
+    Reg Formal = MapReg(Callee.formals()[A]);
+    bool Fp = Caller.regClass(Formal) == sir::RegClass::Fp;
+    auto MoveI =
+        std::make_unique<Instruction>(Fp ? Opcode::FMove : Opcode::Move);
+    MoveI->setDef(Formal);
+    MoveI->uses() = {Args[A]};
+    B->append(std::move(MoveI));
+  }
+
+  // Locate B positionally (indices are stale after earlier inlines).
+  size_t BPos = 0;
+  while (Blocks[BPos].get() != B)
+    ++BPos;
+  std::rotate(Blocks.begin() + BPos + 1, Blocks.begin() + OldSize,
+              Blocks.end());
+}
+
+} // namespace
+
+transform::InlineResult transform::runInline(sir::Module &M,
+                                             const InlineOptions &Opts) {
+  InlineResult R;
+
+  // Cyclic functions (self-recursive or in a mutual cycle) are never
+  // inlined: detected as "can this function reach itself in the call
+  // graph".
+  std::map<const Function *, std::vector<const Function *>> Callees;
+  for (const auto &F : M.functions()) {
+    auto &Out = Callees[F.get()];
+    F->forEachInstr([&](const Instruction &I) {
+      if (I.op() != Opcode::Call)
+        return;
+      if (const Function *C = M.functionByName(I.callee()))
+        Out.push_back(C);
+    });
+  }
+  auto reachesSelf = [&](const Function *F) {
+    std::set<const Function *> Seen;
+    std::vector<const Function *> Work(Callees[F].begin(), Callees[F].end());
+    while (!Work.empty()) {
+      const Function *C = Work.back();
+      Work.pop_back();
+      if (C == F)
+        return true;
+      if (!Seen.insert(C).second)
+        continue;
+      for (const Function *N : Callees[C])
+        Work.push_back(N);
+    }
+    return false;
+  };
+  std::set<const Function *> Cyclic;
+  for (const auto &F : M.functions())
+    if (reachesSelf(F.get()))
+      Cyclic.insert(F.get());
+
+  // Bottom-up order: post-order over the call graph, so a callee's
+  // body is fully flattened before any caller clones it.
+  std::vector<Function *> Order;
+  std::set<const Function *> Visited;
+  std::function<void(Function *)> Visit = [&](Function *F) {
+    if (!Visited.insert(F).second)
+      return;
+    for (const Function *C : Callees[F])
+      Visit(const_cast<Function *>(C));
+    Order.push_back(F);
+  };
+  for (const auto &F : M.functions())
+    Visit(F.get());
+
+  bool Changed = false;
+  for (Function *Caller : Order) {
+    // Sites are collected before any mutation of this caller; calls
+    // exposed by inlining wait for the next pipeline run (guarantees
+    // termination even if a cycle slipped through).
+    std::vector<Instruction *> Sites;
+    Caller->forEachInstr([&](const Instruction &I) {
+      if (I.op() == Opcode::Call)
+        Sites.push_back(const_cast<Instruction *>(&I));
+    });
+    unsigned CallerSize = instrCount(*Caller);
+    for (Instruction *Site : Sites) {
+      const Function *Callee = M.functionByName(Site->callee());
+      if (!Callee || Site->uses().size() != Callee->formals().size() ||
+          usesFrame(*Callee))
+        continue;
+      if (Callee == Caller || Cyclic.count(Callee)) {
+        ++R.SkippedRecursive;
+        continue;
+      }
+      const unsigned CalleeSize = instrCount(*Callee);
+      if (CalleeSize > Opts.MaxCalleeInstrs ||
+          CallerSize + CalleeSize > Opts.MaxCallerInstrs) {
+        ++R.SkippedBudget;
+        continue;
+      }
+      const unsigned ArgMoves = static_cast<unsigned>(Site->uses().size());
+      inlineSite(*Caller, *Callee, Site); // Destroys the call instr.
+      CallerSize += CalleeSize + ArgMoves;
+      ++R.CallsInlined;
+      Changed = true;
+    }
+  }
+  if (Changed)
+    M.renumber();
+  return R;
+}

@@ -1,0 +1,353 @@
+//===- transform/Unroll.cpp - Loop unrolling ------------------------------===//
+//
+// Single-block self-loops (a block whose conditional branch targets
+// itself) are the only shape handled: they are what the sir front end
+// and generator produce for counted loops, and they make both the
+// trip-count proof and the rewrite exact.
+//
+// Full unroll proves the trip count by forward simulation. The entry
+// state is derived from the dominator chain entry..P (P = the loop's
+// unique outside predecessor): a register's entry value is known iff
+// every one of its definitions sits on that chain or in the loop
+// itself (so no off-path definition can intervene before P) and the
+// register is not a formal; registers with no definitions at all are
+// the VM's zero-initialized constants. Soundness additionally needs
+// every chain block to execute at most once before P branches into the
+// loop, so every chain block must be cycle-free -- which also implies
+// P fires the entry edge exactly once and the loop is not re-entered.
+//
+// Partial unroll by factor N is shape-only: N body copies chained by
+// their own exit tests, with jump-to-exit trampolines between copies
+// (the ISA has no branch-complement opcode to fold the test), and the
+// last copy's branch restarting the chain. Trip counts are preserved
+// for arbitrary entry values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transforms.h"
+
+#include "analysis/AnalysisManager.h"
+#include "opt/Passes.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace fpint;
+using sir::BasicBlock;
+using sir::Instruction;
+using sir::Opcode;
+using sir::Reg;
+
+namespace {
+
+struct SimState {
+  std::vector<bool> Known;
+  std::vector<int32_t> Val;
+};
+
+/// Computes the value \p I defines, when provable: integer constants,
+/// moves, and ALU over known operands (via the VM-exact evalConstOp).
+/// Loads, calls, copies from FP, addresses, and FP results are never
+/// known.
+bool evalDef(const sir::Function &F, const Instruction &I,
+             const SimState &S, int32_t &Out) {
+  if (F.regClass(I.def()) != sir::RegClass::Int)
+    return false;
+  const auto &Uses = I.uses();
+  if (I.op() == Opcode::Li) {
+    Out = static_cast<int32_t>(I.imm());
+    return true;
+  }
+  if (I.op() == Opcode::Move) {
+    if (!S.Known[Uses[0].id()])
+      return false;
+    Out = S.Val[Uses[0].id()];
+    return true;
+  }
+  if (I.isLoad() || I.op() == Opcode::Call || I.op() == Opcode::La ||
+      I.op() == Opcode::CpToInt)
+    return false;
+  int32_t A = 0, B = 0;
+  if (!Uses.empty()) {
+    if (!S.Known[Uses[0].id()])
+      return false;
+    A = S.Val[Uses[0].id()];
+  }
+  if (Uses.size() > 1) {
+    if (!S.Known[Uses[1].id()])
+      return false;
+    B = S.Val[Uses[1].id()];
+  }
+  return opt::evalConstOp(I.op(), A, B, I.imm(), Out);
+}
+
+/// VM-exact taken/not-taken for the five integer branches.
+bool evalBranch(const Instruction &I, const SimState &S, bool &Taken) {
+  const auto &Uses = I.uses();
+  const size_t Need = (I.op() == Opcode::Beq || I.op() == Opcode::Bne) ? 2 : 1;
+  if (Uses.size() < Need)
+    return false;
+  for (Reg U : Uses)
+    if (!S.Known[U.id()])
+      return false;
+  int32_t A = S.Val[Uses[0].id()];
+  switch (I.op()) {
+  case Opcode::Beq:
+    Taken = A == S.Val[Uses[1].id()];
+    return true;
+  case Opcode::Bne:
+    Taken = A != S.Val[Uses[1].id()];
+    return true;
+  case Opcode::Blez:
+    Taken = A <= 0;
+    return true;
+  case Opcode::Bgtz:
+    Taken = A > 0;
+    return true;
+  case Opcode::Bltz:
+    Taken = A < 0;
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True if \p Target is reachable from \p From (From itself counts
+/// only if re-entered through a successor edge).
+bool reachableFrom(const analysis::CFG &Cfg, unsigned From, unsigned Target) {
+  std::vector<bool> Seen(Cfg.numBlocks(), false);
+  std::vector<unsigned> Work(Cfg.successors(From).begin(),
+                             Cfg.successors(From).end());
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    if (B == Target)
+      return true;
+    if (Seen[B])
+      continue;
+    Seen[B] = true;
+    for (unsigned S : Cfg.successors(B))
+      Work.push_back(S);
+  }
+  return false;
+}
+
+/// Attempts to prove the trip count of self-loop block \p L and, on
+/// success, replaces it with the exact expansion. Returns the trip
+/// count, or 0 when no proof was possible (the loop is untouched).
+unsigned tryFullUnroll(sir::Function &F, const analysis::CFG &Cfg,
+                       BasicBlock &L, const transform::UnrollOptions &Opts,
+                       int64_t &InstrsAdded) {
+  const unsigned LIdx = L.index();
+  const Instruction *Term = L.back();
+  if (!sir::isIntCondBranch(Term->op()))
+    return 0; // FP-conditioned loops: values are untracked.
+
+  // Entry shape: the only predecessors may be the loop itself and (for
+  // a non-entry loop) a unique outside block P whose sole successor is
+  // the header.
+  unsigned P = ~0u;
+  for (unsigned Pred : Cfg.predecessors(LIdx)) {
+    if (Pred == LIdx)
+      continue;
+    if (P != ~0u)
+      return 0;
+    P = Pred;
+  }
+  if (LIdx != 0 && (P == ~0u || !Cfg.isReachable(P) ||
+                    Cfg.successors(P).size() != 1))
+    return 0;
+  if (LIdx == 0 && P != ~0u)
+    return 0; // Entry loop re-entered from below.
+
+  // Dominator chain entry..P. Every chain block must be cycle-free so
+  // it executes at most once; this also makes the P->L edge fire at
+  // most once and keeps the loop from being re-entered.
+  std::vector<bool> OnChain(Cfg.numBlocks(), false);
+  std::vector<unsigned> Chain;
+  if (P != ~0u) {
+    unsigned B = P;
+    while (true) {
+      Chain.push_back(B);
+      OnChain[B] = true;
+      if (B == Cfg.idom(B))
+        break;
+      B = Cfg.idom(B);
+    }
+    std::reverse(Chain.begin(), Chain.end()); // Entry first.
+    if (Chain.front() != 0)
+      return 0; // Defensive: chain must root at the entry block.
+    for (unsigned C : Chain)
+      if (reachableFrom(Cfg, C, C))
+        return 0;
+  }
+
+  // A register's entry value is provable only when every definition of
+  // it lies on the chain or in the loop body; formals arrive from the
+  // caller. Undefined registers are the zero-register convention.
+  SimState S;
+  S.Known.assign(F.numRegs(), true);
+  S.Val.assign(F.numRegs(), 0);
+  std::vector<bool> Poisoned(F.numRegs(), false);
+  for (Reg Formal : F.formals())
+    Poisoned[Formal.id()] = true;
+  for (const auto &BB : F.blocks()) {
+    if (BB->index() == LIdx || OnChain[BB->index()])
+      continue;
+    for (const auto &I : BB->instructions())
+      if (I->def().isValid())
+        Poisoned[I->def().id()] = true;
+  }
+  for (unsigned R = 0; R < F.numRegs(); ++R)
+    if (Poisoned[R])
+      S.Known[R] = false;
+
+  // Replay the chain: each block runs exactly once, in dominator
+  // order, and no off-chain definition of a tracked register can
+  // interleave. A poisoned register never becomes known here -- its
+  // off-chain definitions could still run between chain blocks.
+  for (unsigned C : Chain)
+    for (const auto &I : F.blocks()[C]->instructions()) {
+      if (!I->def().isValid())
+        continue;
+      uint32_t D = I->def().id();
+      int32_t Out = 0;
+      if (!Poisoned[D] && evalDef(F, *I, S, Out)) {
+        S.Known[D] = true;
+        S.Val[D] = Out;
+      } else {
+        S.Known[D] = false;
+      }
+    }
+
+  // Simulate the loop. Only the loop body runs between iterations, so
+  // definitions now assign normally (poison is overwritten by real,
+  // simulated stores to the register).
+  const auto &Body = L.instructions();
+  const size_t BodySize = Body.size();
+  unsigned Trips = 0;
+  while (true) {
+    for (size_t Pos = 0; Pos + 1 < BodySize; ++Pos) {
+      const Instruction &I = *Body[Pos];
+      if (!I.def().isValid())
+        continue;
+      int32_t Out = 0;
+      if (evalDef(F, I, S, Out)) {
+        S.Known[I.def().id()] = true;
+        S.Val[I.def().id()] = Out;
+      } else {
+        S.Known[I.def().id()] = false;
+      }
+    }
+    ++Trips;
+    if (Trips > Opts.MaxTripCount)
+      return 0;
+    bool Taken = false;
+    if (!evalBranch(*Term, S, Taken))
+      return 0;
+    if (!Taken)
+      break;
+  }
+  if (static_cast<uint64_t>(Trips) * (BodySize - 1) > Opts.MaxUnrolledInstrs)
+    return 0;
+
+  // Exact expansion: Trips copies of the body minus the branch; the
+  // block then falls through to the old exit.
+  BasicBlock::InstrList Unrolled;
+  for (unsigned T = 0; T < Trips; ++T)
+    for (size_t Pos = 0; Pos + 1 < BodySize; ++Pos) {
+      auto Clone = std::make_unique<Instruction>(*Body[Pos]);
+      Clone->setParent(&L);
+      Unrolled.push_back(std::move(Clone));
+    }
+  InstrsAdded += static_cast<int64_t>(Trips) *
+                     static_cast<int64_t>(BodySize - 1) -
+                 static_cast<int64_t>(BodySize);
+  L.instructions() = std::move(Unrolled);
+  return Trips;
+}
+
+/// Replicates self-loop \p L Factor times:
+///   [L bcc->c2][x1: j E][c2 bcc->c3][x2: j E]...[cF bcc->L][E ...]
+/// Each copy keeps its own exit test; a not-taken test falls through
+/// to a trampoline jumping to the old exit (the last copy sits right
+/// before it and needs none).
+void partialUnroll(sir::Function &F, BasicBlock &L, unsigned Factor,
+                   int64_t &InstrsAdded) {
+  auto &Blocks = F.blocks();
+  const size_t LPos = L.index();
+  BasicBlock *Exit = Blocks[LPos + 1].get();
+  const size_t OldSize = Blocks.size();
+  const size_t BodySize = L.instructions().size();
+
+  std::vector<BasicBlock *> Copies;
+  Copies.push_back(&L);
+  for (unsigned C = 2; C <= Factor; ++C) {
+    BasicBlock *Tramp = F.addBlock(L.name() + ".ux" + std::to_string(C - 1));
+    auto Jump = std::make_unique<Instruction>(Opcode::Jump);
+    Jump->setTarget(Exit);
+    Tramp->append(std::move(Jump));
+    BasicBlock *Copy = F.addBlock(L.name() + ".u" + std::to_string(C));
+    for (const auto &I : L.instructions()) {
+      auto Clone = std::make_unique<Instruction>(*I);
+      Copy->append(std::move(Clone));
+    }
+    Copies.push_back(Copy);
+  }
+  for (size_t C = 0; C < Copies.size(); ++C)
+    Copies[C]->back()->setTarget(C + 1 < Copies.size() ? Copies[C + 1] : &L);
+
+  std::rotate(Blocks.begin() + LPos + 1, Blocks.begin() + OldSize,
+              Blocks.end());
+  InstrsAdded += static_cast<int64_t>(Factor - 1) *
+                 static_cast<int64_t>(BodySize + 1);
+}
+
+} // namespace
+
+transform::UnrollResult
+transform::runUnroll(sir::Function &F, analysis::AnalysisManager &AM,
+                     const UnrollOptions &Opts) {
+  UnrollResult R;
+  if (F.blocks().empty())
+    return R;
+  // One loop per round: any rewrite shifts layout indices, so analyses
+  // are rebuilt before the next candidate is examined. Neither rewrite
+  // creates a new self-loop, and failed candidates are remembered, so
+  // this terminates.
+  std::set<const BasicBlock *> Failed;
+  while (true) {
+    F.renumber();
+    const analysis::CFG &Cfg = AM.getResult<analysis::CFGAnalysis>(F);
+    BasicBlock *L = nullptr;
+    for (const auto &BB : F.blocks()) {
+      const Instruction *Term = BB->back();
+      if (Term && Term->isCondBranch() && Term->target() == BB.get() &&
+          BB->index() + 1 < F.blocks().size() &&
+          Cfg.isReachable(BB->index()) && !Failed.count(BB.get())) {
+        L = BB.get();
+        break;
+      }
+    }
+    if (!L)
+      break;
+    if (unsigned Trips = tryFullUnroll(F, Cfg, *L, Opts, R.InstrsAdded)) {
+      (void)Trips;
+      ++R.FullyUnrolled;
+      AM.invalidateFunction(F);
+      continue;
+    }
+    if (Opts.Factor >= 2 && L->instructions().size() > 1) {
+      partialUnroll(F, *L, Opts.Factor, R.InstrsAdded);
+      ++R.PartiallyUnrolled;
+      AM.invalidateFunction(F);
+      Failed.insert(L); // Its branch no longer self-targets anyway.
+      continue;
+    }
+    Failed.insert(L);
+  }
+  if (R.FullyUnrolled || R.PartiallyUnrolled)
+    F.renumber();
+  return R;
+}

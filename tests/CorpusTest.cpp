@@ -79,3 +79,70 @@ TEST(CorpusTest, OracleAcceptsEveryProgram) {
     EXPECT_GT(Report.BaselineDynInstrs, 0u);
   }
 }
+
+namespace {
+
+std::vector<fs::path> transformCorpusFiles() {
+  std::vector<fs::path> Files;
+  for (const fs::path &P : corpusFiles())
+    if (P.parent_path().filename() == "transform")
+      Files.push_back(P);
+  return Files;
+}
+
+} // namespace
+
+TEST(CorpusTest, TransformCorpusIsSeeded) {
+  EXPECT_GE(transformCorpusFiles().size(), 4u) << "corpus dir: " << corpusDir();
+}
+
+TEST(CorpusTest, OracleAcceptsTransformCorpusUnderMidendVariants) {
+  // The mid-end fixtures replay through the oracle under every new
+  // pipeline variant (each transform pass alone plus opt2), on top of
+  // the default battery.
+  testgen::OracleOptions Opts;
+  std::vector<testgen::VariantSpec> MV = testgen::midendVariants();
+  Opts.Variants.insert(Opts.Variants.end(), MV.begin(), MV.end());
+  for (const fs::path &P : transformCorpusFiles()) {
+    SCOPED_TRACE(P.filename().string());
+    sir::ParseResult PR = sir::parseModule(slurp(P));
+    ASSERT_TRUE(PR.ok()) << PR.Error;
+    testgen::OracleReport Report = testgen::runOracle(*PR.M, Opts);
+    EXPECT_FALSE(Report.BaselineSkipped) << Report.BaselineError;
+    for (const std::string &Msg : Report.Mismatches)
+      ADD_FAILURE() << Msg;
+  }
+}
+
+TEST(CorpusTest, TransformCorpusShowsMidendDeltas) {
+  // Every mid-end fixture was built so that at least one transform pass
+  // changes its fig8-style dynamic partition stats; if none does, the
+  // fixture has rotted into a no-op and stops guarding anything.
+  for (const fs::path &P : transformCorpusFiles()) {
+    SCOPED_TRACE(P.filename().string());
+    sir::ParseResult PR = sir::parseModule(slurp(P));
+    ASSERT_TRUE(PR.ok()) << PR.Error;
+
+    core::PipelineConfig Base;
+    Base.Scheme = partition::Scheme::Advanced;
+    Base.EnableFpArgPassing = true;
+    core::PipelineRun Default = core::compileAndMeasure(*PR.M, Base);
+    ASSERT_TRUE(Default.ok()) << (Default.Errors.empty()
+                                      ? "output mismatch"
+                                      : Default.Errors.front());
+
+    bool AnyDelta = false;
+    for (const testgen::VariantSpec &V : testgen::midendVariants()) {
+      core::PipelineConfig Cfg = V.Config;
+      core::PipelineRun Run = core::compileAndMeasure(*PR.M, Cfg);
+      ASSERT_TRUE(Run.ok()) << V.Name << ": "
+                            << (Run.Errors.empty() ? "output mismatch"
+                                                   : Run.Errors.front());
+      if (Run.Stats.Total != Default.Stats.Total ||
+          Run.Stats.Fpa != Default.Stats.Fpa)
+        AnyDelta = true;
+    }
+    EXPECT_TRUE(AnyDelta)
+        << "no mid-end variant changed the partition stats";
+  }
+}

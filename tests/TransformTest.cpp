@@ -1,0 +1,492 @@
+//===- tests/TransformTest.cpp - GVN, LICM, unroll, inline unit tests -----===//
+//
+// Part of the fpint project (PLDI 1998 idle-FP-resources reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Positive and negative unit tests for each mid-end transform, run
+/// directly through the transform:: entry points: GVN replaces
+/// dominated redundancies but never across a clobbering load; LICM
+/// hoists invariant pure computation but refuses memory operations,
+/// loop-varying operands, and values live into the header; the
+/// unroller respects its trip and size budgets and preserves trip
+/// semantics (checked by VM output equality); the inliner refuses
+/// recursive and over-budget callees. Every transformed module must
+/// pass the strict (dataflow-checking) verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "sir/Parser.h"
+#include "sir/Verifier.h"
+#include "transform/Transforms.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace fpint;
+using namespace fpint::sir;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const char *Src) {
+  ParseResult PR = parseModule(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error << " at line " << PR.Line;
+  if (PR.M)
+    PR.M->renumber();
+  return std::move(PR.M);
+}
+
+void expectStrictlyValid(const Module &M) {
+  VerifyOptions Strict;
+  Strict.CheckDataflow = true;
+  for (const std::string &E : verify(M, Strict))
+    ADD_FAILURE() << "verify: " << E;
+}
+
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  F.forEachInstr([&](const Instruction &I) {
+    if (I.op() == Op)
+      ++N;
+  });
+  return N;
+}
+
+/// Runs main() and expects the same observable behavior as \p Reference
+/// produced before the transform.
+void expectSameBehavior(const Module &Reference, const Module &Transformed) {
+  vm::VM::Result Want = vm::runModule(Reference, {});
+  vm::VM::Result Got = vm::runModule(Transformed, {});
+  ASSERT_TRUE(Want.Ok) << Want.Error;
+  ASSERT_TRUE(Got.Ok) << Got.Error;
+  EXPECT_EQ(Want.Output, Got.Output);
+  EXPECT_EQ(Want.ExitValue, Got.ExitValue);
+}
+
+//===----------------------------------------------------------------------===//
+// GVN
+//===----------------------------------------------------------------------===//
+
+TEST(GVN, ReplacesDominatedRedundancy) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 12
+  li %b, 30
+  add %t1, %a, %b
+  bltz %t1, other
+body:
+  add %t2, %a, %b
+  add %s, %t1, %t2
+  out %s
+  ret %s
+other:
+  out %t1
+  ret %t1
+}
+)");
+  auto Reference = M->clone();
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  EXPECT_EQ(transform::runGVN(F, AM), 1u);
+  // The cross-block %t2 = %a+%b became a move of %t1; block-local CSE
+  // could not see it (the bltz splits the region).
+  EXPECT_EQ(countOps(F, Opcode::Move), 1u);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+TEST(GVN, DoesNotCrossClobberingLoad) {
+  auto M = parseOrDie(R"(
+global g 1 = 7
+
+func main() {
+entry:
+  li %a, 2
+  li %b, 3
+  add %t1, %a, %b
+  lw %a, g
+  add %t2, %a, %b
+  out %t1
+  out %t2
+  ret
+}
+)");
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  // The lw redefines %a between the two adds: no redundancy exists, and
+  // the loaded value itself must never be treated as a numberable pure
+  // expression.
+  EXPECT_EQ(transform::runGVN(F, AM), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Move), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Add), 2u);
+  expectStrictlyValid(*M);
+}
+
+TEST(GVN, DoesNotInheritAcrossJoin) {
+  auto M = parseOrDie(R"(
+func main(%x) {
+entry:
+  li %a, 4
+  li %b, 9
+  add %t1, %a, %b
+  blez %x, left
+right:
+  jmp join
+left:
+  jmp join
+join:
+  add %t2, %a, %b
+  out %t2
+  ret %t2
+}
+)");
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  // The join has two predecessors; non-SSA value numbering only
+  // inherits down unique-predecessor edges, so %t2 must survive even
+  // though %t1's value would happen to be correct here.
+  EXPECT_EQ(transform::runGVN(F, AM), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Move), 0u);
+  expectStrictlyValid(*M);
+}
+
+//===----------------------------------------------------------------------===//
+// LICM
+//===----------------------------------------------------------------------===//
+
+TEST(LICM, HoistsInvariantToPreheader) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 21
+  li %b, 2
+  li %i, 0
+  li %s, 0
+loop:
+  mul %inv, %a, %b
+  add %s, %s, %inv
+  out %s
+  addi %i, %i, 1
+  slti %c, %i, 10
+  bgtz %c, loop
+exit:
+  ret %s
+}
+)");
+  auto Reference = M->clone();
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  EXPECT_EQ(transform::runLICM(F, AM), 1u);
+  // The mul now lives in the preheader (entry, block 0), not the loop.
+  ASSERT_GE(F.blocks().size(), 2u);
+  EXPECT_EQ(countOps(F, Opcode::Mul), 1u);
+  bool InEntry = false;
+  for (const auto &I : F.blocks()[0]->instructions())
+    if (I->op() == Opcode::Mul)
+      InEntry = true;
+  EXPECT_TRUE(InEntry);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+TEST(LICM, RefusesMemoryOperations) {
+  auto M = parseOrDie(R"(
+global g 1 = 5
+
+func main() {
+entry:
+  li %i, 0
+  li %s, 0
+loop:
+  lw %v, g
+  add %s, %s, %v
+  sw %s, g
+  addi %i, %i, 1
+  slti %c, %i, 4
+  bgtz %c, loop
+exit:
+  out %s
+  ret %s
+}
+)");
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  // The lw looks invariant (g's address never changes) but the sw in
+  // the same loop aliases it: memory operations are categorically not
+  // hoisted.
+  EXPECT_EQ(transform::runLICM(F, AM), 0u);
+  bool LoadInLoop = false;
+  for (const auto &I : F.blocks()[1]->instructions())
+    if (I->isLoad())
+      LoadInLoop = true;
+  EXPECT_TRUE(LoadInLoop);
+  expectStrictlyValid(*M);
+}
+
+TEST(LICM, RefusesLoopVaryingOperand) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %b, 3
+  li %i, 0
+  li %s, 0
+loop:
+  mul %v, %i, %b
+  add %s, %s, %v
+  addi %i, %i, 1
+  slti %c, %i, 4
+  bgtz %c, loop
+exit:
+  out %s
+  ret %s
+}
+)");
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  EXPECT_EQ(transform::runLICM(F, AM), 0u); // %i changes every trip.
+  expectStrictlyValid(*M);
+}
+
+TEST(LICM, RefusesValueLiveIntoHeader) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 5
+  li %b, 6
+  li %v, 0
+  li %i, 0
+loop:
+  out %v
+  mul %v, %a, %b
+  addi %i, %i, 1
+  slti %c, %i, 3
+  bgtz %c, loop
+exit:
+  ret %v
+}
+)");
+  auto Reference = M->clone();
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  // %v is printed before it is recomputed, so the first iteration must
+  // observe the preheader's 0. Hoisting the mul would print 30 instead:
+  // the live-into-header check has to refuse.
+  EXPECT_EQ(transform::runLICM(F, AM), 0u);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+//===----------------------------------------------------------------------===//
+// Unroll
+//===----------------------------------------------------------------------===//
+
+const char *CountedLoopSrc = R"(
+func main() {
+entry:
+  li %i, 0
+  li %s, 5
+loop:
+  add %s, %s, %i
+  out %s
+  addi %i, %i, 1
+  slti %c, %i, 6
+  bgtz %c, loop
+exit:
+  ret %s
+}
+)";
+
+TEST(Unroll, FullyUnrollsCountedLoop) {
+  auto M = parseOrDie(CountedLoopSrc);
+  auto Reference = M->clone();
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  transform::UnrollResult R =
+      transform::runUnroll(F, AM, transform::UnrollOptions());
+  EXPECT_EQ(R.FullyUnrolled, 1u);
+  EXPECT_EQ(R.PartiallyUnrolled, 0u);
+  EXPECT_GT(R.InstrsAdded, 0);
+  // The loop's conditional branch is gone: the body is straight-line.
+  EXPECT_EQ(countOps(F, Opcode::Bgtz), 0u);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+TEST(Unroll, RespectsTripCountBudget) {
+  auto M = parseOrDie(CountedLoopSrc);
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  transform::UnrollOptions Opts;
+  Opts.MaxTripCount = 5; // The loop runs 6 trips.
+  transform::UnrollResult R = transform::runUnroll(F, AM, Opts);
+  EXPECT_EQ(R.FullyUnrolled, 0u);
+  EXPECT_EQ(countOps(F, Opcode::Bgtz), 1u);
+  expectStrictlyValid(*M);
+}
+
+TEST(Unroll, RespectsSizeBudget) {
+  auto M = parseOrDie(CountedLoopSrc);
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+  transform::UnrollOptions Opts;
+  Opts.MaxUnrolledInstrs = 23; // 6 trips x (5-1) body instrs = 24 > 23.
+  transform::UnrollResult R = transform::runUnroll(F, AM, Opts);
+  EXPECT_EQ(R.FullyUnrolled, 0u);
+
+  auto M2 = parseOrDie(CountedLoopSrc);
+  auto Reference = M2->clone();
+  Function &F2 = *M2->functionByName("main");
+  analysis::AnalysisManager AM2;
+  Opts.MaxUnrolledInstrs = 24; // Exactly at the budget: allowed.
+  R = transform::runUnroll(F2, AM2, Opts);
+  EXPECT_EQ(R.FullyUnrolled, 1u);
+  expectStrictlyValid(*M2);
+  expectSameBehavior(*Reference, *M2);
+}
+
+TEST(Unroll, PartiallyUnrollsUnknownTripCount) {
+  auto M = parseOrDie(R"(
+global bound 1 = 7
+
+func main() {
+entry:
+  lw %n, bound
+  li %i, 0
+  li %s, 0
+loop:
+  add %s, %s, %i
+  addi %i, %i, 1
+  slt %c, %i, %n
+  bgtz %c, loop
+exit:
+  out %s
+  ret %s
+}
+)");
+  auto Reference = M->clone();
+  Function &F = *M->functionByName("main");
+  analysis::AnalysisManager AM;
+
+  // Factor 0 (full-only): the lw-defined bound is not a compile-time
+  // trip count, so nothing happens.
+  transform::UnrollResult R =
+      transform::runUnroll(F, AM, transform::UnrollOptions());
+  EXPECT_EQ(R.FullyUnrolled, 0u);
+  EXPECT_EQ(R.PartiallyUnrolled, 0u);
+
+  transform::UnrollOptions Opts;
+  Opts.Factor = 4;
+  R = transform::runUnroll(F, AM, Opts);
+  EXPECT_EQ(R.FullyUnrolled, 0u);
+  EXPECT_EQ(R.PartiallyUnrolled, 1u);
+  EXPECT_EQ(countOps(F, Opcode::Bgtz), 4u); // One exit test per copy.
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+//===----------------------------------------------------------------------===//
+// Inline
+//===----------------------------------------------------------------------===//
+
+TEST(Inline, InlinesSmallLeafCallee) {
+  auto M = parseOrDie(R"(
+func helper(%a, %b) {
+entry:
+  add %t, %a, %b
+  add %u, %t, %t
+  ret %u
+}
+
+func main() {
+entry:
+  li %x, 3
+  li %y, 4
+  call %r, helper(%x, %y)
+  out %r
+  ret %r
+}
+)");
+  auto Reference = M->clone();
+  transform::InlineResult R = transform::runInline(*M);
+  EXPECT_EQ(R.CallsInlined, 1u);
+  EXPECT_EQ(R.SkippedRecursive, 0u);
+  EXPECT_EQ(R.SkippedBudget, 0u);
+  EXPECT_EQ(countOps(*M->functionByName("main"), Opcode::Call), 0u);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+TEST(Inline, RefusesRecursiveCallees) {
+  auto M = parseOrDie(R"(
+func count(%n) {
+entry:
+  blez %n, base
+rec:
+  addi %m, %n, -1
+  call %r, count(%m)
+  addi %r1, %r, 1
+  ret %r1
+base:
+  li %z, 0
+  ret %z
+}
+
+func main() {
+entry:
+  li %n, 3
+  call %r, count(%n)
+  out %r
+  ret %r
+}
+)");
+  auto Reference = M->clone();
+  transform::InlineResult R = transform::runInline(*M);
+  // Both the self-call inside count() and main's call into the cyclic
+  // function are refused.
+  EXPECT_EQ(R.CallsInlined, 0u);
+  EXPECT_GE(R.SkippedRecursive, 2u);
+  EXPECT_EQ(countOps(*M->functionByName("main"), Opcode::Call), 1u);
+  expectStrictlyValid(*M);
+  expectSameBehavior(*Reference, *M);
+}
+
+TEST(Inline, RefusesOverBudgetCallee) {
+  const char *Src = R"(
+func helper(%a) {
+entry:
+  addi %a, %a, 1
+  addi %a, %a, 2
+  addi %a, %a, 3
+  ret %a
+}
+
+func main() {
+entry:
+  li %x, 10
+  call %r, helper(%x)
+  out %r
+  ret %r
+}
+)";
+  auto M = parseOrDie(Src);
+  transform::InlineOptions Tight;
+  Tight.MaxCalleeInstrs = 3; // helper has 4 instructions.
+  transform::InlineResult R = transform::runInline(*M, Tight);
+  EXPECT_EQ(R.CallsInlined, 0u);
+  EXPECT_GE(R.SkippedBudget, 1u);
+  EXPECT_EQ(countOps(*M->functionByName("main"), Opcode::Call), 1u);
+
+  auto M2 = parseOrDie(Src);
+  auto Reference = M2->clone();
+  transform::InlineOptions Loose;
+  Loose.MaxCalleeInstrs = 4;
+  R = transform::runInline(*M2, Loose);
+  EXPECT_EQ(R.CallsInlined, 1u);
+  expectStrictlyValid(*M2);
+  expectSameBehavior(*Reference, *M2);
+}
+
+} // namespace

@@ -46,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -76,6 +77,9 @@ void usage() {
       "  --passes TEXT        add a variant compiling with the given pass\n"
       "                       pipeline text (repeatable; see docs/PASSES.md;\n"
       "                       checked against the unpartitioned baseline)\n"
+      "  --midend             add the mid-end variant battery: gvn, licm,\n"
+      "                       unroll, unroll<4>, inline each alone, plus the\n"
+      "                       full opt2 preset (see docs/TRANSFORMS.md)\n"
       "  --keep-going         check all iterations even after a failure\n"
       "  --emit               print each generated module (debugging)\n"
       "  --quiet              only print failures and the final summary\n");
@@ -328,6 +332,7 @@ int main(int argc, char **argv) {
   uint64_t OneSeed = 0;
   std::string Preset; // Empty: cycle through all presets.
   std::vector<std::string> PassTexts; // Extra --passes variants.
+  bool Midend = false;                // Append testgen::midendVariants().
   std::string ReproDir = "tests/corpus/regressions";
   int TimeoutMs = 10000;
   bool Sandbox = true, Reduce = true, CheckTiming = true, KeepGoing = false,
@@ -363,6 +368,8 @@ int main(int argc, char **argv) {
       CheckTiming = false;
     else if (!std::strcmp(Arg, "--passes"))
       PassTexts.push_back(Value());
+    else if (!std::strcmp(Arg, "--midend"))
+      Midend = true;
     else if (!std::strcmp(Arg, "--keep-going"))
       KeepGoing = true;
     else if (!std::strcmp(Arg, "--emit"))
@@ -399,6 +406,12 @@ int main(int argc, char **argv) {
     V.Config.EnableFpArgPassing =
         Text.find("fp-arg-passing") != std::string::npos;
     OracleOpts.Variants.push_back(std::move(V));
+  }
+  if (Midend) {
+    std::vector<testgen::VariantSpec> MV = testgen::midendVariants();
+    OracleOpts.Variants.insert(OracleOpts.Variants.end(),
+                               std::make_move_iterator(MV.begin()),
+                               std::make_move_iterator(MV.end()));
   }
   FuzzStats Stats;
   std::map<std::string, uint64_t> Buckets;

@@ -61,8 +61,10 @@ void usage() {
       "  --args=a,b           main() arguments for measurement runs\n"
       "  --train-args=a,b     main() arguments for the profiling run\n"
       "  --passes=TEXT        explicit pass pipeline (comma-separated\n"
-      "                       names, fixpoint(...) combinator; see\n"
-      "                       docs/PASSES.md; overrides $FPINT_PASSES)\n"
+      "                       names, fixpoint(...) combinator, the opt2\n"
+      "                       mid-end preset, unroll<N> partial-unroll\n"
+      "                       factors; see docs/PASSES.md and\n"
+      "                       docs/TRANSFORMS.md; overrides $FPINT_PASSES)\n"
       "\n"
       "outputs:\n"
       "  --print              partitioned assembly\n"
