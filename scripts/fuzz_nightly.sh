@@ -1,14 +1,41 @@
 #!/usr/bin/env bash
-# Nightly-depth differential fuzz run. Derives a fresh base seed (from
+# Nightly-depth differential fuzz run, journaled so an interrupted night
+# resumes instead of starting over. Derives a fresh base seed (from
 # $FPINT_FUZZ_SEED, or the time when unset), logs it so a red run can be
 # replayed with FPINT_FUZZ_SEED=<seed> locally, and leaves any reduced
 # repros in tests/corpus/regressions/ for the CI artifact upload.
+#
+# Resume semantics (docs/CAMPAIGNS.md): completed batches are journaled
+# in $STATE_DIR; rerunning after a crash/kill/OOM skips them and -- the
+# part that matters for replayability -- adopts the base seed logged in
+# the journal header, so the resumed run continues the exact random
+# sequence the interrupted night started. The state directory is
+# removed only after a run that finished (whatever its verdict), so the
+# next night starts a fresh campaign with a fresh seed.
 set -euo pipefail
 
 FUZZ_BIN=${FUZZ_BIN:-./build/tools/fpint-fuzz}
 ITERS=${ITERS:-2000}
+BATCH=${BATCH:-100}
+STATE_DIR=${STATE_DIR:-campaign_state/fuzz_nightly}
 SEED=${FPINT_FUZZ_SEED:-$(date +%s)}
 
-echo "nightly fuzz: seed=$SEED iters=$ITERS"
-echo "replay with: FPINT_FUZZ_SEED=$SEED $FUZZ_BIN --iters $ITERS"
-FPINT_FUZZ_SEED=$SEED "$FUZZ_BIN" --iters "$ITERS" --keep-going --quiet
+if [ -f "$STATE_DIR/journal.wal" ]; then
+  echo "nightly fuzz: journal found in $STATE_DIR; resuming (the journaled seed wins)"
+else
+  echo "nightly fuzz: seed=$SEED iters=$ITERS batch=$BATCH"
+fi
+echo "replay with: FPINT_FUZZ_SEED=<logged seed> $FUZZ_BIN --iters $ITERS"
+
+STATUS=0
+FPINT_FUZZ_SEED=$SEED "$FUZZ_BIN" --iters "$ITERS" --keep-going --quiet \
+  --journal "$STATE_DIR" --batch "$BATCH" || STATUS=$?
+
+# The campaign ran to completion (green or red, exit < 128): clear the
+# journal so the next night is a fresh campaign. A killed run (signal
+# exit >= 128, or the whole job dying before this line) keeps its
+# journal and resumes tomorrow.
+if [ "$STATUS" -lt 128 ]; then
+  rm -rf "$STATE_DIR"
+fi
+exit "$STATUS"

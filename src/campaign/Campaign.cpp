@@ -1,0 +1,346 @@
+//===- campaign/Campaign.cpp - Durable, resumable campaign runtime --------===//
+
+#include "campaign/Campaign.h"
+
+#include "support/FaultInject.h"
+#include "support/Hash.h"
+#include "support/Subprocess.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace fpint;
+using namespace fpint::campaign;
+namespace fs = std::filesystem;
+
+namespace {
+
+int envInt(const char *Name, int Def) {
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return Def;
+  return std::atoi(E);
+}
+
+std::string envStr(const char *Name, const char *Def) {
+  const char *E = std::getenv(Name);
+  return E && *E ? E : Def;
+}
+
+/// Journal record for one completed cell. The result document is
+/// embedded verbatim; its canonical dump is what makes replay
+/// byte-identical.
+json::Value cellRecord(const std::string &Key, const CellOutcome &Out) {
+  json::Value R = json::Value::object();
+  R.set("type", "cell");
+  R.set("key", Key);
+  R.set("status", Out.ok() ? "ok" : "err");
+  R.set("attempts", static_cast<int64_t>(Out.Attempts));
+  if (Out.ok()) {
+    R.set("result", Out.Result);
+  } else {
+    R.set("error_kind", Out.ErrorKind);
+    R.set("error", Out.Error);
+  }
+  return R;
+}
+
+bool parseCellRecord(const json::Value &R, std::string &Key,
+                     CellOutcome &Out) {
+  if (R.strOr("type", "") != "cell")
+    return false;
+  Key = R.strOr("key", "");
+  if (Key.empty())
+    return false;
+  Out = CellOutcome();
+  Out.Resumed = true;
+  Out.Attempts = 0;
+  if (R.strOr("status", "") == "ok") {
+    const json::Value *Result = R.find("result");
+    if (!Result || !Result->isObject())
+      return false;
+    Out.St = CellOutcome::Status::Ok;
+    Out.Result = *Result;
+  } else {
+    Out.St = CellOutcome::Status::Err;
+    Out.ErrorKind = R.strOr("error_kind", "unknown");
+    Out.Error = R.strOr("error", "");
+  }
+  return true;
+}
+
+} // namespace
+
+std::string campaign::cellKey(const std::string &Workload,
+                              const std::string &PipelineKey,
+                              const std::string &MachineKey) {
+  uint64_t H = support::fnv1a64(Workload);
+  H = support::fnv1a64("\x1f" + PipelineKey, H);
+  H = support::fnv1a64("\x1f" + MachineKey, H);
+  H = support::fnv1a64("\x1f" + std::string(JournalSchema), H);
+  return support::hex64(H);
+}
+
+json::Value campaign::summaryToJson(const Summary &S) {
+  json::Value V = json::Value::object();
+  V.set("cells", S.Cells);
+  V.set("completed", S.Completed);
+  V.set("resumed", S.Resumed);
+  V.set("executed", S.Executed);
+  V.set("retried", S.Retried);
+  V.set("errors", S.Errors);
+  V.set("journal_truncated_bytes", S.JournalTruncatedBytes);
+  V.set("journal_discarded", S.JournalDiscarded);
+  return V;
+}
+
+bool campaign::publishReport(const std::string &Path, const json::Value &Doc,
+                             std::string *Err) {
+  const std::string Text = Doc.dump() + "\n";
+  std::error_code EC;
+  fs::path Parent = fs::path(Path).parent_path();
+  if (!Parent.empty())
+    fs::create_directories(Parent, EC);
+  const std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Err)
+        *Err = "cannot write " + Tmp;
+      return false;
+    }
+    Out.write(Text.data(), static_cast<std::streamsize>(Text.size()));
+    Out.flush();
+    if (!Out) {
+      fs::remove(Tmp, EC);
+      if (Err)
+        *Err = "short write to " + Tmp;
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    fs::remove(Tmp, EC);
+    if (Err)
+      *Err = "rename to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
+Runner::Runner(Options O) : Opts(std::move(O)) {
+  if (Opts.Dir.empty())
+    Opts.Dir = envStr("FPINT_CAMPAIGN_DIR", "campaign_state");
+  if (Opts.Retries < 0)
+    Opts.Retries = std::max(0, envInt("FPINT_CAMPAIGN_RETRIES", 2));
+  if (Opts.BackoffMs < 0)
+    Opts.BackoffMs = std::max(0, envInt("FPINT_CAMPAIGN_BACKOFF_MS", 50));
+  if (Opts.DeadlineMs < 0)
+    Opts.DeadlineMs = std::max(1, envInt("FPINT_CAMPAIGN_DEADLINE_MS", 120000));
+  if (Opts.CellAsMb < 0)
+    Opts.CellAsMb = std::max(0, envInt("FPINT_CAMPAIGN_AS_MB", 4096));
+}
+
+CellOutcome Runner::executeCell(const Cell &C, const CellFn &Fn) {
+  CellOutcome Out;
+  const int Attempts = 1 + Opts.Retries;
+  for (int Attempt = 1; Attempt <= Attempts; ++Attempt) {
+    Out.Attempts = static_cast<unsigned>(Attempt);
+    if (Opts.Sandbox) {
+      support::SandboxLimits Limits;
+      Limits.WallMs = Opts.DeadlineMs;
+      Limits.KillGraceMs = 500;
+      Limits.AddressSpaceMb = static_cast<uint64_t>(Opts.CellAsMb);
+      support::TaskResult R = support::Subprocess::run(
+          [&](int PayloadFd) {
+            // The child sets its own attempt number: cells fork from
+            // pool workers, so a parent-side shared counter would race
+            // across concurrent cells.
+            support::fault::setAttempt(static_cast<unsigned>(Attempt));
+            support::fault::inject("campaign:cell");
+            try {
+              json::Value Result = Fn(C);
+              return support::Subprocess::writeAll(PayloadFd, Result.dump())
+                         ? 0
+                         : 2;
+            } catch (const std::exception &E) {
+              std::fprintf(stderr, "%s\n", E.what());
+              return 3;
+            }
+          },
+          Limits);
+
+      if (R.ok()) {
+        json::Value Result;
+        std::string ParseErr;
+        if (json::Value::parse(R.Payload, Result, &ParseErr) &&
+            Result.isObject()) {
+          Out.St = CellOutcome::Status::Ok;
+          Out.Result = std::move(Result);
+          return Out;
+        }
+        Out.ErrorKind = "bad_payload";
+        Out.Error = "cell payload is not a JSON object: " + ParseErr;
+      } else {
+        using Status = support::TaskResult::Status;
+        Out.ErrorKind = (R.TimedOut || R.Killed) ? "timeout"
+                        : R.St == Status::Signaled
+                            ? "crash"
+                            : R.St == Status::SpawnFailed ? "spawn_failed"
+                                                          : "exit";
+        Out.Error = R.describe();
+        if (!R.StderrTail.empty()) {
+          std::string Tail = R.StderrTail;
+          if (!Tail.empty() && Tail.back() == '\n')
+            Tail.pop_back();
+          size_t Line = Tail.rfind('\n');
+          Out.Error +=
+              ": " + (Line == std::string::npos ? Tail : Tail.substr(Line + 1));
+        }
+      }
+    } else {
+      // In-process mode (tests / trusted cell functions): exceptions
+      // degrade, but a crash or hang is not contained.
+      try {
+        support::fault::setAttempt(static_cast<unsigned>(Attempt));
+        support::fault::inject("campaign:cell");
+        json::Value Result = Fn(C);
+        support::fault::setAttempt(1);
+        if (!Result.isObject()) {
+          Out.ErrorKind = "bad_payload";
+          Out.Error = "cell result is not a JSON object";
+        } else {
+          Out.St = CellOutcome::Status::Ok;
+          Out.Result = std::move(Result);
+          return Out;
+        }
+      } catch (const std::exception &E) {
+        support::fault::setAttempt(1);
+        Out.ErrorKind = "exception";
+        Out.Error = E.what();
+      }
+    }
+    if (Attempt < Attempts && Opts.BackoffMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          Opts.BackoffMs << (Attempt - 1)));
+  }
+  Out.St = CellOutcome::Status::Err;
+  return Out;
+}
+
+std::vector<CellOutcome> Runner::run(const std::vector<Cell> &Cells,
+                                     const CellFn &Fn) {
+  Sum = Summary();
+  Sum.Cells = Cells.size();
+
+  Journal J;
+  Journal::RecoveryInfo Info;
+  std::string Err;
+  std::vector<json::Value> Records;
+  if (!J.open(Opts.Dir + "/journal.wal",
+              [&](const json::Value &R) { Records.push_back(R); }, Info,
+              &Err))
+    throw std::runtime_error("campaign journal: " + Err);
+  Sum.JournalTruncatedBytes = Info.TruncatedBytes;
+
+  // The first record must be this campaign's header; anything else is
+  // a different campaign (or an older schema) and is discarded.
+  bool HaveHeader = false;
+  if (!Records.empty()) {
+    const json::Value &H = Records.front();
+    HaveHeader = H.strOr("type", "") == "campaign" &&
+                 H.strOr("schema", "") == JournalSchema &&
+                 H.strOr("key", "") == Opts.CampaignKey;
+    if (!HaveHeader) {
+      Sum.JournalDiscarded = true;
+      Records.clear();
+      if (!J.reset(&Err))
+        throw std::runtime_error("campaign journal: " + Err);
+    }
+  }
+  if (!HaveHeader) {
+    json::Value H = json::Value::object();
+    H.set("type", "campaign");
+    H.set("schema", JournalSchema);
+    H.set("key", Opts.CampaignKey);
+    if (!J.append(H, &Err))
+      throw std::runtime_error("campaign journal: " + Err);
+  }
+
+  // Replay completed cells (last record wins on duplicates).
+  std::map<std::string, CellOutcome> Done;
+  for (size_t I = HaveHeader ? 1 : 0; I < Records.size(); ++I) {
+    std::string Key;
+    CellOutcome Out;
+    if (parseCellRecord(Records[I], Key, Out))
+      Done[Key] = std::move(Out);
+  }
+
+  std::vector<CellOutcome> Outcomes(Cells.size());
+  std::vector<size_t> Pending;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    auto It = Done.find(Cells[I].Key);
+    if (It != Done.end()) {
+      Outcomes[I] = It->second;
+      ++Sum.Resumed;
+    } else {
+      Pending.push_back(I);
+    }
+  }
+
+  // Execute the unfinished cells and journal each completion before
+  // counting it done. Journal appends are serialized internally; a
+  // crash between execution and append merely re-executes that cell
+  // on resume (at-least-once execution, exactly-once in the journal).
+  std::mutex JournalMu;
+  std::string JournalErr;
+  auto RunOne = [&](size_t I) {
+    CellOutcome Out = executeCell(Cells[I], Fn);
+    std::string AppendErr;
+    if (!J.append(cellRecord(Cells[I].Key, Out), &AppendErr)) {
+      std::lock_guard<std::mutex> Lock(JournalMu);
+      if (JournalErr.empty())
+        JournalErr = AppendErr;
+    }
+    Outcomes[I] = std::move(Out);
+  };
+
+  if (Opts.Jobs == 1 || Pending.size() <= 1) {
+    for (size_t I : Pending)
+      RunOne(I);
+  } else {
+    support::ThreadPool &Pool = support::ThreadPool::global();
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Pending.size());
+    for (size_t I : Pending)
+      Futures.push_back(Pool.submit([&RunOne, I] { RunOne(I); }));
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+  if (!JournalErr.empty())
+    throw std::runtime_error("campaign journal: " + JournalErr);
+
+  for (const CellOutcome &Out : Outcomes) {
+    if (!Out.Resumed) {
+      ++Sum.Executed;
+      if (Out.Attempts > 1)
+        ++Sum.Retried;
+    }
+    if (Out.ok())
+      ++Sum.Completed;
+    else
+      ++Sum.Errors;
+  }
+  return Outcomes;
+}

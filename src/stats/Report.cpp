@@ -326,10 +326,12 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
   }
 
   // Optional top-level metric objects ("run_cache" memoization
-  // counters, "serve" latency/throughput from fpint-loadgen): compared
+  // counters, "serve" latency/throughput from fpint-loadgen,
+  // "campaign" resume/retry accounting from fpint-explore): compared
   // member-by-member when both trees carry them, but strictly
-  // informational -- cache hit rates and wall-clock service latency
-  // are environment-dependent and never gate.
+  // informational -- cache hit rates, wall-clock service latency, and
+  // how often a campaign resumed or retried are environment-dependent
+  // and never gate.
   auto diffInfoObject = [&](const char *Key) {
     const Value *BO = Base.find(Key);
     const Value *CO = Current.find(Key);
@@ -353,5 +355,6 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
   };
   diffInfoObject("run_cache");
   diffInfoObject("serve");
+  diffInfoObject("campaign");
   return R;
 }

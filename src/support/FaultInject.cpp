@@ -24,9 +24,10 @@ struct FaultSpec {
 
 /// Parses "<kind>:<where>[:once]"; an unparseable spec stays disarmed
 /// (and is reported once, so a typo in CI is loud rather than silent).
-FaultSpec parseSpec() {
+/// The site name may itself contain a colon ("campaign:journal"), so
+/// only a trailing ":once" is treated as a suffix.
+FaultSpec parseSpecText(const char *Env) {
   FaultSpec S;
-  const char *Env = std::getenv("FPINT_FAULT");
   if (!Env || !*Env)
     return S;
   std::string Text = Env;
@@ -37,16 +38,16 @@ FaultSpec parseSpec() {
   }
   std::string Kind = Text.substr(0, C1);
   std::string Rest = Text.substr(C1 + 1);
-  size_t C2 = Rest.find(':');
-  if (C2 != std::string::npos) {
-    std::string Suffix = Rest.substr(C2 + 1);
-    if (Suffix != "once") {
-      std::fprintf(stderr, "[fault] ignoring malformed FPINT_FAULT='%s'\n",
-                   Env);
-      return S;
-    }
+  const std::string OnceSuffix = ":once";
+  if (Rest.size() > OnceSuffix.size() &&
+      Rest.compare(Rest.size() - OnceSuffix.size(), OnceSuffix.size(),
+                   OnceSuffix) == 0) {
     S.Once = true;
-    Rest = Rest.substr(0, C2);
+    Rest = Rest.substr(0, Rest.size() - OnceSuffix.size());
+  }
+  if (Rest.empty()) {
+    std::fprintf(stderr, "[fault] ignoring malformed FPINT_FAULT='%s'\n", Env);
+    return S;
   }
   if (Kind == "crash")
     S.Kind = FaultKind::Crash;
@@ -62,9 +63,14 @@ FaultSpec parseSpec() {
   return S;
 }
 
+/// Test-armed override (fault::armForTest); takes precedence over the
+/// environment spec while armed.
+FaultSpec OverrideSpec;
+bool HaveOverride = false;
+
 const FaultSpec &spec() {
-  static const FaultSpec S = parseSpec();
-  return S;
+  static const FaultSpec S = parseSpecText(std::getenv("FPINT_FAULT"));
+  return HaveOverride ? OverrideSpec : S;
 }
 
 /// 1-based attempt number; inherited across fork() so children know
@@ -106,6 +112,16 @@ unsigned CurrentAttempt = 1;
 } // namespace
 
 bool fault::enabled() { return spec().Kind != FaultKind::None; }
+
+void fault::armForTest(const char *SpecText) {
+  if (!SpecText) {
+    HaveOverride = false;
+    OverrideSpec = FaultSpec();
+    return;
+  }
+  OverrideSpec = parseSpecText(SpecText);
+  HaveOverride = true;
+}
 
 void fault::setAttempt(unsigned Attempt) {
   CurrentAttempt = Attempt == 0 ? 1 : Attempt;

@@ -22,9 +22,14 @@
 /// Instrumented sites: "compile" (core::compileAndMeasure), "simulate"
 /// (core::simulate), "cell" (bench::runMatrix sandboxed cell), "oracle"
 /// (testgen::runOracle), "serve" (serve::Server miss execution, fired
-/// inside the sandbox child or the in-process path). The hooks are
-/// inert unless FPINT_FAULT is set; CI's fault-injection and
-/// serve-smoke jobs are the only intended users.
+/// inside the sandbox child or the in-process path),
+/// "campaign:journal" (campaign::Journal::append, fired in the *runner*
+/// process after a record is durably on disk -- killing the harness
+/// itself, which the resumable campaign layer must survive) and
+/// "campaign:cell" (campaign::Runner cell execution, fired inside the
+/// sandbox child). The hooks are inert unless FPINT_FAULT is set; CI's
+/// fault-injection, serve-smoke, and campaign-resume jobs are the only
+/// intended users.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,7 +51,19 @@ void inject(const char *Where);
 /// Sets the 1-based attempt counter consulted by ":once" specs. The
 /// sandboxing harness calls this in the parent before each fork, so
 /// children inherit the attempt number they are running under.
+/// campaign::Runner instead has each sandbox child set its own attempt
+/// first thing after fork (cells fork from pool workers, where a
+/// shared pre-fork counter would race).
 void setAttempt(unsigned Attempt);
+
+/// Arms (or, with nullptr, disarms) a fault spec in-process, exactly
+/// as if FPINT_FAULT carried \p SpecText. Tests use this to exercise
+/// fault paths without re-execing: FPINT_FAULT is parsed once into a
+/// static, so a setenv after the first inject()/enabled() call is
+/// invisible -- and forked children inherit the already-parsed spec.
+/// An armed override takes precedence over the environment spec and
+/// is inherited across fork like the rest of the process image.
+void armForTest(const char *SpecText);
 
 } // namespace fault
 } // namespace support

@@ -32,9 +32,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "campaign/Journal.h"
 #include "core/PassManager.h"
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
+#include "support/Hash.h"
 #include "support/Subprocess.h"
 #include "testgen/Generator.h"
 #include "testgen/Oracle.h"
@@ -48,6 +50,7 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -70,6 +73,11 @@ void usage() {
       "                       tests/corpus/regressions)\n"
       "  --timeout-ms N       wall-clock guard per sandboxed iteration\n"
       "                       (default 10000; hangs become triaged repros)\n"
+      "  --journal DIR        journal completed batches into DIR so an\n"
+      "                       interrupted campaign resumes from the last\n"
+      "                       completed batch, with the journaled base seed\n"
+      "                       (see docs/CAMPAIGNS.md; ignored with --one)\n"
+      "  --batch N            iterations per journaled batch (default 100)\n"
       "  --no-sandbox         run iterations in-process (debugging only;\n"
       "                       a checker crash then kills the campaign)\n"
       "  --no-reduce          report failures without shrinking\n"
@@ -334,6 +342,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> PassTexts; // Extra --passes variants.
   bool Midend = false;                // Append testgen::midendVariants().
   std::string ReproDir = "tests/corpus/regressions";
+  std::string JournalDir;
+  uint64_t BatchSize = 100;
   int TimeoutMs = 10000;
   bool Sandbox = true, Reduce = true, CheckTiming = true, KeepGoing = false,
        Emit = false, Quiet = false;
@@ -360,6 +370,10 @@ int main(int argc, char **argv) {
       ReproDir = Value();
     else if (!std::strcmp(Arg, "--timeout-ms"))
       TimeoutMs = static_cast<int>(parseSeed(Value()));
+    else if (!std::strcmp(Arg, "--journal"))
+      JournalDir = Value();
+    else if (!std::strcmp(Arg, "--batch"))
+      BatchSize = std::max<uint64_t>(1, parseSeed(Value()));
     else if (!std::strcmp(Arg, "--no-sandbox"))
       Sandbox = false;
     else if (!std::strcmp(Arg, "--no-reduce"))
@@ -417,127 +431,264 @@ int main(int argc, char **argv) {
   std::map<std::string, uint64_t> Buckets;
   int Exit = 0;
 
+  // --journal: resume an interrupted campaign from its last completed
+  // batch. The campaign identity covers everything that changes what
+  // the batches check -- iteration count, preset, variant battery,
+  // batch size -- but NOT the seed: on resume the journaled header's
+  // seed is adopted, so a restarted nightly run continues the exact
+  // random sequence it started with (docs/CAMPAIGNS.md).
+  const bool UseJournal = !JournalDir.empty() && !HaveOne;
+  campaign::Journal Journal;
+  std::set<uint64_t> DoneBatches;
+  if (UseJournal) {
+    uint64_t KeyH = support::fnv1a64("fpint-fuzz");
+    auto Fold = [&KeyH](const std::string &Part) {
+      KeyH = support::fnv1a64("\x1f" + Part, KeyH);
+    };
+    Fold(campaign::JournalSchema);
+    Fold(std::to_string(Iters));
+    Fold(Preset);
+    for (const std::string &Text : PassTexts)
+      Fold("passes:" + Text);
+    Fold(std::to_string(Midend));
+    Fold(std::to_string(CheckTiming));
+    Fold(std::to_string(BatchSize));
+    const std::string CampaignKey = support::hex64(KeyH);
+
+    std::vector<json::Value> Records;
+    campaign::Journal::RecoveryInfo Info;
+    std::string Err;
+    if (!Journal.open(
+            JournalDir + "/journal.wal",
+            [&](const json::Value &R) { Records.push_back(R); }, Info,
+            &Err)) {
+      std::fprintf(stderr, "fpint-fuzz: journal: %s\n", Err.c_str());
+      return 2;
+    }
+    const bool HaveHeader =
+        !Records.empty() && Records.front().strOr("type", "") == "campaign" &&
+        Records.front().strOr("schema", "") == campaign::JournalSchema &&
+        Records.front().strOr("key", "") == CampaignKey;
+    if (HaveHeader) {
+      BaseSeed = parseSeed(Records.front().strOr("seed", "1").c_str());
+      for (size_t I = 1; I < Records.size(); ++I) {
+        const json::Value &R = Records[I];
+        if (R.strOr("type", "") != "batch")
+          continue;
+        DoneBatches.insert(static_cast<uint64_t>(R.numberOr("index", 0)));
+        Stats.Modules += static_cast<uint64_t>(R.numberOr("modules", 0));
+        Stats.Skipped += static_cast<uint64_t>(R.numberOr("skipped", 0));
+        Stats.DynInstrs += static_cast<uint64_t>(R.numberOr("dyn_instrs", 0));
+        Stats.Mismatches +=
+            static_cast<uint64_t>(R.numberOr("mismatches", 0));
+        Stats.Crashes += static_cast<uint64_t>(R.numberOr("crashes", 0));
+        Stats.Hangs += static_cast<uint64_t>(R.numberOr("hangs", 0));
+        Exit = std::max(Exit, static_cast<int>(R.numberOr("exit", 0)));
+        const json::Value *B = R.find("buckets");
+        if (B && B->isObject())
+          for (const auto &Member : B->members())
+            Buckets[Member.first] +=
+                static_cast<uint64_t>(Member.second.number());
+      }
+      if (!DoneBatches.empty())
+        std::fprintf(stderr,
+                     "fpint-fuzz: resuming campaign (base seed 0x%" PRIx64
+                     "): %zu batch(es) already complete\n",
+                     BaseSeed, DoneBatches.size());
+    } else {
+      if (!Records.empty()) {
+        // A journal bound to a different campaign is discarded, never
+        // merged (the campaign::Runner contract).
+        std::fprintf(stderr, "fpint-fuzz: journal belongs to a different "
+                             "campaign; starting fresh\n");
+        if (!Journal.reset(&Err)) {
+          std::fprintf(stderr, "fpint-fuzz: journal: %s\n", Err.c_str());
+          return 2;
+        }
+      }
+      json::Value H = json::Value::object();
+      H.set("type", "campaign");
+      H.set("schema", campaign::JournalSchema);
+      H.set("key", CampaignKey);
+      char SeedBuf[32];
+      std::snprintf(SeedBuf, sizeof(SeedBuf), "0x%" PRIx64, BaseSeed);
+      H.set("seed", SeedBuf);
+      if (!Journal.append(H, &Err)) {
+        std::fprintf(stderr, "fpint-fuzz: journal: %s\n", Err.c_str());
+        return 2;
+      }
+    }
+  }
+
   auto Check = [&](const sir::Module &M) {
     return Sandbox ? checkSandboxed(M, OracleOpts, TimeoutMs)
                    : checkInProcess(M, OracleOpts);
   };
 
-  for (uint64_t It = 0; It < (HaveOne ? 1 : Iters); ++It) {
-    uint64_t ModSeed =
-        HaveOne ? OneSeed : testgen::moduleSeed(BaseSeed, It);
-    const std::string &PresetName =
-        !Preset.empty() ? Preset : Presets[It % Presets.size()];
-    testgen::GenConfig Config = testgen::presetConfig(PresetName);
-
-    std::unique_ptr<sir::Module> M = testgen::generateModule(Config, ModSeed);
-    std::string Text = sir::toString(*M);
-    if (Emit)
-      std::printf("# seed=0x%" PRIx64 " preset=%s\n%s\n", ModSeed,
-                  PresetName.c_str(), Text.c_str());
-
-    IterOutcome Out = Check(*M);
-    ++Stats.Modules;
-    Stats.DynInstrs += Out.DynInstrs;
-
-    if (Out.K == IterOutcome::Kind::Pass)
+  const uint64_t Total = HaveOne ? 1 : Iters;
+  const uint64_t Step = UseJournal ? BatchSize : (Total ? Total : 1);
+  bool Stop = false;
+  for (uint64_t BatchStart = 0; BatchStart < Total && !Stop;
+       BatchStart += Step) {
+    const uint64_t BatchIdx = BatchStart / Step;
+    const uint64_t BatchEnd = std::min(BatchStart + Step, Total);
+    if (UseJournal && DoneBatches.count(BatchIdx))
       continue;
-    if (Out.K == IterOutcome::Kind::Skip) {
-      ++Stats.Skipped;
-      if (!Quiet)
-        std::fprintf(stderr, "skip seed=0x%" PRIx64 " iter=%" PRIu64 ": %s\n",
-                     ModSeed, It, Out.SkipReason.c_str());
-      continue;
-    }
-    if (Out.K == IterOutcome::Kind::SpawnFailed) {
+    const FuzzStats Before = Stats;
+    const std::map<std::string, uint64_t> BucketsBefore = Buckets;
+
+    for (uint64_t It = BatchStart; It < BatchEnd; ++It) {
+      uint64_t ModSeed =
+          HaveOne ? OneSeed : testgen::moduleSeed(BaseSeed, It);
+      const std::string &PresetName =
+          !Preset.empty() ? Preset : Presets[It % Presets.size()];
+      testgen::GenConfig Config = testgen::presetConfig(PresetName);
+
+      std::unique_ptr<sir::Module> M = testgen::generateModule(Config, ModSeed);
+      std::string Text = sir::toString(*M);
+      if (Emit)
+        std::printf("# seed=0x%" PRIx64 " preset=%s\n%s\n", ModSeed,
+                    PresetName.c_str(), Text.c_str());
+
+      IterOutcome Out = Check(*M);
+      ++Stats.Modules;
+      Stats.DynInstrs += Out.DynInstrs;
+
+      if (Out.K == IterOutcome::Kind::Pass)
+        continue;
+      if (Out.K == IterOutcome::Kind::Skip) {
+        ++Stats.Skipped;
+        if (!Quiet)
+          std::fprintf(stderr, "skip seed=0x%" PRIx64 " iter=%" PRIu64 ": %s\n",
+                       ModSeed, It, Out.SkipReason.c_str());
+        continue;
+      }
+      if (Out.K == IterOutcome::Kind::SpawnFailed) {
+        std::fprintf(stderr,
+                     "fpint-fuzz: fork failed at iter %" PRIu64 "; stopping\n",
+                     It);
+        Exit = 2;
+        Stop = true;
+        break;
+      }
+
+      // A finding. Count, triage into a bucket, report.
+      switch (Out.K) {
+      case IterOutcome::Kind::Crash:
+        ++Stats.Crashes;
+        break;
+      case IterOutcome::Kind::Hang:
+        ++Stats.Hangs;
+        break;
+      default:
+        ++Stats.Mismatches;
+        break;
+      }
+      Exit = 1;
+      std::string Bucket = bucketKey(Out);
+      bool FirstInBucket = Buckets[Bucket]++ == 0;
+
       std::fprintf(stderr,
-                   "fpint-fuzz: fork failed at iter %" PRIu64 "; stopping\n",
-                   It);
-      Exit = 2;
-      break;
-    }
+                   "%s seed=0x%" PRIx64 " iter=%" PRIu64
+                   " preset=%s bucket=%s (%s)\n",
+                   kindName(Out.K), ModSeed, It, PresetName.c_str(),
+                   Bucket.c_str(), Out.Describe.c_str());
+      if (!Out.LastStage.empty())
+        std::fprintf(stderr, "  last oracle stage: %s\n", Out.LastStage.c_str());
+      for (const std::string &Msg : Out.Mismatches)
+        std::fprintf(stderr, "  %s\n", Msg.c_str());
+      std::fprintf(stderr,
+                   "  reproduce: fpint-fuzz --one 0x%" PRIx64 " --preset %s\n",
+                   ModSeed, PresetName.c_str());
 
-    // A finding. Count, triage into a bucket, report.
-    switch (Out.K) {
-    case IterOutcome::Kind::Crash:
-      ++Stats.Crashes;
-      break;
-    case IterOutcome::Kind::Hang:
-      ++Stats.Hangs;
-      break;
-    default:
-      ++Stats.Mismatches;
-      break;
-    }
-    Exit = 1;
-    std::string Bucket = bucketKey(Out);
-    bool FirstInBucket = Buckets[Bucket]++ == 0;
+      if (Reduce && FirstInBucket) {
+        // Shrink while the candidate stays in the same bucket. Crash and
+        // hang probes run sandboxed even under --no-sandbox (an
+        // in-process crash probe would kill the reducer itself); hang
+        // probes get a tightened watchdog so reduction stays bounded.
+        const IterOutcome::Kind WantKind = Out.K;
+        const int WantSignal = Out.Signal;
+        const int ProbeTimeout =
+            WantKind == IterOutcome::Kind::Hang
+                ? std::min(TimeoutMs, 1500)
+                : TimeoutMs;
+        testgen::InterestingPredicate SameBucket =
+            [&](const sir::Module &Candidate) {
+              IterOutcome Probe =
+                  (WantKind == IterOutcome::Kind::Mismatch && !Sandbox)
+                      ? checkInProcess(Candidate, OracleOpts)
+                      : checkSandboxed(Candidate, OracleOpts, ProbeTimeout);
+              if (Probe.K != WantKind)
+                return false;
+              if (WantKind == IterOutcome::Kind::Crash)
+                return Probe.Signal == WantSignal;
+              return true;
+            };
+        testgen::ReduceOutcome Reduced = testgen::reduceModule(Text, SameBucket);
+        std::fprintf(stderr, "  reduced to %u instructions (%u probes)\n",
+                     Reduced.InstrCount, Reduced.Probes);
 
-    std::fprintf(stderr,
-                 "%s seed=0x%" PRIx64 " iter=%" PRIu64
-                 " preset=%s bucket=%s (%s)\n",
-                 kindName(Out.K), ModSeed, It, PresetName.c_str(),
-                 Bucket.c_str(), Out.Describe.c_str());
-    if (!Out.LastStage.empty())
-      std::fprintf(stderr, "  last oracle stage: %s\n", Out.LastStage.c_str());
-    for (const std::string &Msg : Out.Mismatches)
-      std::fprintf(stderr, "  %s\n", Msg.c_str());
-    std::fprintf(stderr,
-                 "  reproduce: fpint-fuzz --one 0x%" PRIx64 " --preset %s\n",
-                 ModSeed, PresetName.c_str());
-
-    if (Reduce && FirstInBucket) {
-      // Shrink while the candidate stays in the same bucket. Crash and
-      // hang probes run sandboxed even under --no-sandbox (an
-      // in-process crash probe would kill the reducer itself); hang
-      // probes get a tightened watchdog so reduction stays bounded.
-      const IterOutcome::Kind WantKind = Out.K;
-      const int WantSignal = Out.Signal;
-      const int ProbeTimeout =
-          WantKind == IterOutcome::Kind::Hang
-              ? std::min(TimeoutMs, 1500)
-              : TimeoutMs;
-      testgen::InterestingPredicate SameBucket =
-          [&](const sir::Module &Candidate) {
-            IterOutcome Probe =
-                (WantKind == IterOutcome::Kind::Mismatch && !Sandbox)
-                    ? checkInProcess(Candidate, OracleOpts)
-                    : checkSandboxed(Candidate, OracleOpts, ProbeTimeout);
-            if (Probe.K != WantKind)
-              return false;
-            if (WantKind == IterOutcome::Kind::Crash)
-              return Probe.Signal == WantSignal;
-            return true;
-          };
-      testgen::ReduceOutcome Reduced = testgen::reduceModule(Text, SameBucket);
-      std::fprintf(stderr, "  reduced to %u instructions (%u probes)\n",
-                   Reduced.InstrCount, Reduced.Probes);
-
-      char Name[160];
-      std::snprintf(Name, sizeof(Name), "seed_0x%" PRIx64 "_%s_%s.sir",
-                    ModSeed, sanitizeFileName(PresetName).c_str(),
-                    sanitizeFileName(Bucket).c_str());
-      std::string Path = ReproDir + "/" + Name;
-      std::ofstream OutFile(Path);
-      if (OutFile) {
-        OutFile << "# fpint-fuzz regression (auto-reduced)\n"
-                << "# kind=" << kindName(Out.K) << " bucket=" << Bucket
-                << "\n"
-                << "# seed=0x" << std::hex << ModSeed << std::dec
-                << " preset=" << PresetName << "\n"
-                << "# replay: fpint-fuzz --one 0x" << std::hex << ModSeed
-                << std::dec << " --preset " << PresetName << "\n";
-        if (!Out.LastStage.empty())
-          OutFile << "# last oracle stage: " << Out.LastStage << "\n";
-        for (const std::string &Msg : Out.Mismatches)
-          OutFile << "# " << Msg << "\n";
-        OutFile << Reduced.Text;
-        std::fprintf(stderr, "  repro written to %s\n", Path.c_str());
-      } else {
-        std::fprintf(stderr, "  could not write %s\n", Path.c_str());
+        char Name[160];
+        std::snprintf(Name, sizeof(Name), "seed_0x%" PRIx64 "_%s_%s.sir",
+                      ModSeed, sanitizeFileName(PresetName).c_str(),
+                      sanitizeFileName(Bucket).c_str());
+        std::string Path = ReproDir + "/" + Name;
+        std::ofstream OutFile(Path);
+        if (OutFile) {
+          OutFile << "# fpint-fuzz regression (auto-reduced)\n"
+                  << "# kind=" << kindName(Out.K) << " bucket=" << Bucket
+                  << "\n"
+                  << "# seed=0x" << std::hex << ModSeed << std::dec
+                  << " preset=" << PresetName << "\n"
+                  << "# replay: fpint-fuzz --one 0x" << std::hex << ModSeed
+                  << std::dec << " --preset " << PresetName << "\n";
+          if (!Out.LastStage.empty())
+            OutFile << "# last oracle stage: " << Out.LastStage << "\n";
+          for (const std::string &Msg : Out.Mismatches)
+            OutFile << "# " << Msg << "\n";
+          OutFile << Reduced.Text;
+          std::fprintf(stderr, "  repro written to %s\n", Path.c_str());
+        } else {
+          std::fprintf(stderr, "  could not write %s\n", Path.c_str());
+        }
+      }
+      if (!KeepGoing) {
+        Stop = true;
+        break;
       }
     }
-    if (!KeepGoing)
-      break;
+
+    // One fully-completed batch = one durable unit of progress. An
+    // interrupted batch (finding with !KeepGoing, fork failure, or the
+    // harness dying) is deliberately not journaled: the next run
+    // re-executes it from its first iteration.
+    if (UseJournal && !Stop) {
+      json::Value R = json::Value::object();
+      R.set("type", "batch");
+      R.set("index", BatchIdx);
+      R.set("modules", Stats.Modules - Before.Modules);
+      R.set("skipped", Stats.Skipped - Before.Skipped);
+      R.set("dyn_instrs", Stats.DynInstrs - Before.DynInstrs);
+      R.set("mismatches", Stats.Mismatches - Before.Mismatches);
+      R.set("crashes", Stats.Crashes - Before.Crashes);
+      R.set("hangs", Stats.Hangs - Before.Hangs);
+      R.set("exit", Exit);
+      json::Value BucketDeltas = json::Value::object();
+      for (const auto &B : Buckets) {
+        auto PrevIt = BucketsBefore.find(B.first);
+        const uint64_t Prev =
+            PrevIt == BucketsBefore.end() ? 0 : PrevIt->second;
+        if (B.second > Prev)
+          BucketDeltas.set(B.first, B.second - Prev);
+      }
+      R.set("buckets", std::move(BucketDeltas));
+      std::string Err;
+      if (!Journal.append(R, &Err)) {
+        std::fprintf(stderr, "fpint-fuzz: journal: %s\n", Err.c_str());
+        Exit = 2;
+        Stop = true;
+      }
+    }
   }
 
   std::printf("fpint-fuzz: %" PRIu64 " modules, %" PRIu64 " skipped, %" PRIu64
