@@ -167,7 +167,8 @@ inline timing::SimStats simulateRun(const RunPtr &Run,
   stats::StatsRegistry &Reg = stats::StatsRegistry::global();
   if (Reg.enabled())
     Reg.record(Run->Name, Run->Config, Machine, S,
-               Run->RefResult.Trap.Kind, Run->PassStats);
+               Run->RefResult.Trap.Kind, Run->PassStats,
+               stats::RegAllocSummary::of(Run->Alloc));
   return S;
 }
 

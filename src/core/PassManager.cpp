@@ -3,6 +3,7 @@
 #include "core/PassManager.h"
 
 #include "opt/Passes.h"
+#include "regalloc/Allocator.h"
 #include "sir/Printer.h"
 #include "sir/Verifier.h"
 #include "transform/Transforms.h"
@@ -184,11 +185,19 @@ private:
   unsigned LastChanges = 0;
 };
 
-/// The legacy step 3: linear-scan register allocation, gated on
-/// RunRegisterAllocation.
+/// The legacy step 3: register allocation, gated on
+/// RunRegisterAllocation. The "regalloc" spelling dispatches on
+/// Config.RegAllocator (empty = the incumbent backend); the
+/// "regalloc-linear" spelling forces the linear-scan backend
+/// regardless of the config, mirroring partition-basic/-advanced.
 class RegAllocPass : public ModulePass {
 public:
-  std::string name() const override { return "regalloc"; }
+  RegAllocPass() = default;
+  explicit RegAllocPass(std::string Forced) : Forced(std::move(Forced)) {}
+
+  std::string name() const override {
+    return Forced.empty() ? "regalloc" : Forced;
+  }
 
   unsigned run(sir::Module &M, analysis::AnalysisManager &AM,
                PassState &State) override {
@@ -196,7 +205,9 @@ public:
     if (!configOf(State).RunRegisterAllocation)
       return 0;
     Ran = true;
-    State.Alloc = regalloc::allocateModule(M, &AM);
+    const std::string &Backend =
+        Forced.empty() ? configOf(State).RegAllocator : Forced;
+    State.Alloc = regalloc::allocateModuleWith(Backend, M, &AM);
     for (const std::string &E : State.Alloc.Errors)
       State.Errors.push_back("regalloc: " + E);
     unsigned Changes = static_cast<unsigned>(State.Alloc.Funcs.size());
@@ -213,6 +224,7 @@ public:
   }
 
 private:
+  std::string Forced; ///< Empty: dispatch on Config.RegAllocator.
   bool Ran = false;
 };
 
@@ -477,6 +489,9 @@ PassRegistry &PassRegistry::global() {
                       [] { return std::make_unique<FpArgPassingPass>(); });
     Reg->registerPass("regalloc",
                       [] { return std::make_unique<RegAllocPass>(); });
+    Reg->registerPass("regalloc-linear", [] {
+      return std::make_unique<RegAllocPass>("regalloc-linear");
+    });
     Reg->registerPass("verify",
                       [] { return std::make_unique<VerifyPass>(); });
     return Reg;

@@ -183,7 +183,10 @@ private:
 ///   partition-basic, partition-advanced
 ///                   explicit scheme selection, ignoring Config.Scheme
 ///   fp-arg-passing  Section 6.6 extension (gated)
-///   regalloc        linear-scan register allocation (gated)
+///   regalloc        register allocation, backend selected by
+///                   Config.RegAllocator (gated)
+///   regalloc-linear register allocation with the Poletto-Sarkar
+///                   linear-scan backend, ignoring Config.RegAllocator
 ///   verify          structural verification as a pipeline stage
 ///
 /// Tests may registerPass() additional names; re-registering a name

@@ -60,6 +60,13 @@ struct PipelineConfig {
   /// the default text, which reproduces the historical flow exactly.
   /// A non-empty value becomes part of the run cache key.
   std::string Passes;
+  /// Register-allocation backend for the "regalloc" pipeline stage
+  /// (regalloc::AllocatorRegistry name). Empty means the default
+  /// incumbent ("regalloc"); a non-empty value becomes part of the
+  /// run cache key so compiled artifacts never alias across
+  /// backends. The explicit "regalloc-linear" pipeline token
+  /// overrides this field, mirroring partition-basic/-advanced.
+  std::string RegAllocator;
 };
 
 /// Per-pass boundary telemetry, one row per executed pass. Flows into

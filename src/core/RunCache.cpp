@@ -54,6 +54,14 @@ std::string RunCache::runKey(const std::string &ModuleName,
     Key += '|';
     Key += Config.Passes;
   }
+  // Same story for a non-default register-allocation backend: it
+  // compiles different code, so it must key separately, and the empty
+  // default is omitted so historical keys (and golden run ids) stay
+  // stable.
+  if (!Config.RegAllocator.empty()) {
+    Key += "|regalloc=";
+    Key += Config.RegAllocator;
+  }
   return Key;
 }
 

@@ -1,0 +1,84 @@
+//===- regalloc/Allocator.cpp - Backend registry and module driver --------===//
+
+#include "regalloc/Allocator.h"
+
+#include <chrono>
+
+using namespace fpint;
+using namespace fpint::regalloc;
+
+AllocatorRegistry &AllocatorRegistry::global() {
+  // Pre-populated deterministically (no cross-TU static-init games):
+  // the factories are defined next to each backend implementation.
+  static AllocatorRegistry *R = [] {
+    auto *Reg = new AllocatorRegistry();
+    Reg->registerAllocator("regalloc", createIncumbentAllocator);
+    Reg->registerAllocator("regalloc-linear", createLinearScanAllocator);
+    return Reg;
+  }();
+  return *R;
+}
+
+void AllocatorRegistry::registerAllocator(const std::string &Name,
+                                          Factory F) {
+  Factories[Name] = std::move(F);
+}
+
+std::unique_ptr<Allocator>
+AllocatorRegistry::create(const std::string &Name) const {
+  auto It = Factories.find(Name);
+  if (It == Factories.end())
+    return nullptr;
+  return It->second();
+}
+
+bool AllocatorRegistry::contains(const std::string &Name) const {
+  return Factories.count(Name) != 0;
+}
+
+std::vector<std::string> AllocatorRegistry::names() const {
+  std::vector<std::string> Out;
+  for (const auto &KV : Factories)
+    Out.push_back(KV.first);
+  return Out;
+}
+
+ModuleAlloc regalloc::allocateModuleWith(const std::string &Name,
+                                         sir::Module &M,
+                                         analysis::AnalysisManager *AM) {
+  ModuleAlloc Result;
+  const std::string &Effective = Name.empty() ? defaultAllocatorName() : Name;
+  std::unique_ptr<Allocator> Alloc =
+      AllocatorRegistry::global().create(Effective);
+  if (!Alloc) {
+    Result.Errors.push_back("unknown register allocator '" + Effective + "'");
+    return Result;
+  }
+  Result.AllocatorName = Alloc->name();
+  for (const auto &F : M.functions()) {
+    std::string Error;
+    // Lowering and rewriting mutate F around the analysis fetches, so
+    // bracket each function with invalidations: stale entries from
+    // earlier passes are dropped going in, and the allocator's own
+    // CFG / liveness / live-interval results are dropped going out.
+    if (AM)
+      AM->invalidateFunction(*F);
+    auto T0 = std::chrono::steady_clock::now();
+    bool Ok = Alloc->runOnFunction(*F, Result, AM, Error);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Ok)
+      Result.Errors.push_back(Error);
+    auto It = Result.Funcs.find(F.get());
+    if (It != Result.Funcs.end())
+      It->second.WallMs =
+          std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (AM)
+      AM->invalidateFunction(*F);
+  }
+  return Result;
+}
+
+ModuleAlloc regalloc::allocateModule(sir::Module &M,
+                                     analysis::AnalysisManager *AM) {
+  return allocateModuleWith("", M, AM);
+}

@@ -1,255 +1,38 @@
-//===- regalloc/RegAlloc.cpp - Linear-scan register allocation ------------===//
+//===- regalloc/RegAlloc.cpp - Incumbent register-allocation backend ------===//
+//
+// The original linear-scan allocator, now one backend behind the
+// regalloc::Allocator interface (registered as "regalloc" and still
+// the default). Its scan policy: lowest-index-first register pools per
+// class, caller-saved preferred for intervals that do not cross a
+// call, furthest-end victim spilling. Everything around the scan lives
+// in AllocBase.cpp and is shared with every other backend.
+//
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/RegAlloc.h"
 
-#include "analysis/CFG.h"
-#include "regalloc/Liveness.h"
+#include "regalloc/AllocBase.h"
+#include "regalloc/Allocator.h"
 
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <memory>
 
 using namespace fpint;
 using namespace fpint::regalloc;
-using sir::BasicBlock;
-using sir::Instruction;
-using sir::MemOperand;
-using sir::Opcode;
 using sir::Reg;
 using sir::RegClass;
 
 namespace {
 
-constexpr unsigned ZeroReg = 31; ///< Architectural zero (reads as 0).
-
-struct Interval {
-  Reg R;
-  RegClass RC;
-  unsigned Start = ~0u;
-  unsigned End = 0;
-  bool CrossesCall = false;
-  unsigned ArchIdx = ~0u; ///< Assigned architectural index.
-  bool Spilled = false;
-};
-
-class FuncAllocator {
+class IncumbentFuncAllocator final : public FuncAllocBase {
 public:
-  FuncAllocator(sir::Function &F, ModuleAlloc &Out,
-                analysis::AnalysisManager *AM)
-      : F(F), Out(Out), AM(AM) {}
-
-  bool run(std::string &Error);
+  using FuncAllocBase::FuncAllocBase;
 
 private:
-  void lowerCallingConvention();
-  void buildIntervals();
-  void scan(RegClass RC);
-  void rewrite();
-  void insertCalleeSaves();
-  void finish();
-
-  Reg archReg(RegClass RC, unsigned Idx);
-
-  sir::Function &F;
-  ModuleAlloc &Out;
-  analysis::AnalysisManager *AM; ///< Optional shared analysis cache.
-  FuncAlloc Result;
-
-  // Architectural vregs, created lazily per (class, index).
-  std::map<std::pair<RegClass, unsigned>, Reg> ArchRegs;
-
-  std::vector<Interval> Intervals;           // Sorted by Start.
-  std::vector<unsigned> IntervalOf;          // Reg id -> interval (~0u).
-  std::vector<bool> IsPrecolored;            // Reg id -> fixed arch reg.
-  std::vector<bool> NeverDefined;            // Reg id -> reads as zero.
-  std::vector<unsigned> SpillSlotOf;         // Reg id -> frame slot.
-  unsigned NextSlot = 0;
-  unsigned BaseSlots = 0;
-  std::vector<bool> CalleeUsed[2];           // Per class, per callee idx.
+  void scan(RegClass RC) override;
 };
 
-Reg FuncAllocator::archReg(RegClass RC, unsigned Idx) {
-  auto Key = std::make_pair(RC, Idx);
-  auto It = ArchRegs.find(Key);
-  if (It != ArchRegs.end())
-    return It->second;
-  Reg R = F.newReg(RC);
-  ArchRegs.emplace(Key, R);
-  return R;
-}
-
-void FuncAllocator::lowerCallingConvention() {
-  // Formals: the incoming values arrive in $a0..$aN; copy them into the
-  // original formal registers at entry, then retarget the formal list.
-  std::vector<Reg> OldFormals = F.formals();
-  std::vector<Reg> NewFormals;
-  std::vector<std::unique_ptr<Instruction>> EntryMoves;
-  for (unsigned A = 0; A < OldFormals.size(); ++A) {
-    // FP-passed arguments (Section 6.6 extension) travel in the FP
-    // file's argument registers and move with fmove.
-    RegClass RC = F.regClass(OldFormals[A]);
-    Reg ArgR = archReg(RC, A);
-    NewFormals.push_back(ArgR);
-    auto Move = std::make_unique<Instruction>(
-        RC == RegClass::Fp ? Opcode::FMove : Opcode::Move);
-    Move->setDef(OldFormals[A]);
-    Move->uses() = {ArgR};
-    EntryMoves.push_back(std::move(Move));
-  }
-  BasicBlock *Entry = F.entry();
-  for (size_t A = EntryMoves.size(); A-- > 0;)
-    Entry->insertAt(0, std::move(EntryMoves[A]));
-
-  F.setFormals(NewFormals);
-
-  // Call sites: marshal arguments through $a regs and results through
-  // $v0.
-  for (const auto &BB : F.blocks()) {
-    auto &Instrs = BB->instructions();
-    for (size_t Pos = 0; Pos < Instrs.size(); ++Pos) {
-      Instruction &I = *Instrs[Pos];
-      if (I.op() == Opcode::Call) {
-        for (size_t A = 0; A < I.uses().size(); ++A) {
-          RegClass RC = F.regClass(I.uses()[A]);
-          Reg ArgR = archReg(RC, static_cast<unsigned>(A));
-          auto Move = std::make_unique<Instruction>(
-              RC == RegClass::Fp ? Opcode::FMove : Opcode::Move);
-          Move->setDef(ArgR);
-          Move->uses() = {I.uses()[A]};
-          BB->insertAt(Pos, std::move(Move));
-          ++Pos;
-          I.uses()[A] = ArgR;
-        }
-        if (I.def().isValid()) {
-          Reg RetR = archReg(RegClass::Int, ArchLayout::RetReg);
-          auto Move = std::make_unique<Instruction>(Opcode::Move);
-          Move->setDef(I.def());
-          Move->uses() = {RetR};
-          I.setDef(RetR);
-          BB->insertAt(Pos + 1, std::move(Move));
-          ++Pos;
-        }
-        continue;
-      }
-      if (I.op() == Opcode::Ret && !I.uses().empty()) {
-        Reg RetR = archReg(RegClass::Int, ArchLayout::RetReg);
-        auto Move = std::make_unique<Instruction>(Opcode::Move);
-        Move->setDef(RetR);
-        Move->uses() = {I.uses()[0]};
-        BB->insertAt(Pos, std::move(Move));
-        ++Pos;
-        I.uses()[0] = RetR;
-      }
-    }
-  }
-  F.renumber();
-}
-
-void FuncAllocator::buildIntervals() {
-  // Calling-convention lowering just mutated F, so any cached analyses
-  // are stale; the caller invalidated them, making these fetches clean
-  // misses over the lowered IR (with Liveness reusing the CFG).
-  std::unique_ptr<analysis::CFG> LocalCfg;
-  std::unique_ptr<Liveness> LocalLive;
-  const analysis::CFG *CfgP;
-  const Liveness *LiveP;
-  if (AM) {
-    CfgP = &AM->getResult<analysis::CFGAnalysis>(F);
-    LiveP = &AM->getResult<LivenessAnalysis>(F);
-  } else {
-    LocalCfg = std::make_unique<analysis::CFG>(F);
-    LocalLive = std::make_unique<Liveness>(F, *LocalCfg);
-    CfgP = LocalCfg.get();
-    LiveP = LocalLive.get();
-  }
-  const analysis::CFG &Cfg = *CfgP;
-  const Liveness &Live = *LiveP;
-
-  IsPrecolored.assign(F.numRegs(), false);
-  for (const auto &[Key, R] : ArchRegs)
-    IsPrecolored[R.id()] = true;
-
-  // Linear positions (2 apart so "before" and "after" slots exist).
-  std::vector<unsigned> BlockStart(Cfg.numBlocks()), BlockEnd(Cfg.numBlocks());
-  std::vector<unsigned> CallPositions;
-  unsigned Pos = 0;
-  std::vector<unsigned> InstrPos; // By instruction id.
-  InstrPos.resize(F.numInstrIds());
-  for (unsigned B = 0; B < Cfg.numBlocks(); ++B) {
-    BlockStart[B] = Pos;
-    for (const auto &I : F.blocks()[B]->instructions()) {
-      InstrPos[I->id()] = Pos;
-      if (I->op() == Opcode::Call)
-        CallPositions.push_back(Pos);
-      Pos += 2;
-    }
-    BlockEnd[B] = Pos;
-  }
-
-  // Defined / used registers.
-  std::vector<bool> Defined(F.numRegs(), false);
-  std::vector<bool> Used(F.numRegs(), false);
-  F.forEachInstr([&](const Instruction &I) {
-    if (I.def().isValid())
-      Defined[I.def().id()] = true;
-    I.forEachUse([&](Reg R, sir::UseKind) { Used[R.id()] = true; });
-  });
-  NeverDefined.assign(F.numRegs(), false);
-  for (unsigned R = 1; R < F.numRegs(); ++R)
-    NeverDefined[R] = Used[R] && !Defined[R] && !IsPrecolored[R];
-
-  IntervalOf.assign(F.numRegs(), ~0u);
-  auto Extend = [&](Reg R, unsigned At) {
-    if (IsPrecolored[R.id()] || NeverDefined[R.id()])
-      return;
-    unsigned &Idx = IntervalOf[R.id()];
-    if (Idx == ~0u) {
-      Idx = static_cast<unsigned>(Intervals.size());
-      Intervals.push_back(Interval{R, F.regClass(R), At, At, false, ~0u,
-                                   false});
-      return;
-    }
-    Intervals[Idx].Start = std::min(Intervals[Idx].Start, At);
-    Intervals[Idx].End = std::max(Intervals[Idx].End, At);
-  };
-
-  for (unsigned B = 0; B < Cfg.numBlocks(); ++B) {
-    for (unsigned R = 1; R < F.numRegs(); ++R) {
-      if (Live.liveInSet(B)[R])
-        Extend(Reg(R), BlockStart[B]);
-      if (Live.liveOutSet(B)[R])
-        Extend(Reg(R), BlockEnd[B]);
-    }
-    for (const auto &I : F.blocks()[B]->instructions()) {
-      unsigned P = InstrPos[I->id()];
-      I->forEachUse([&](Reg R, sir::UseKind) { Extend(R, P); });
-      if (I->def().isValid())
-        Extend(I->def(), P);
-    }
-  }
-
-  for (Interval &Iv : Intervals)
-    for (unsigned CallPos : CallPositions)
-      if (Iv.Start < CallPos && CallPos < Iv.End) {
-        Iv.CrossesCall = true;
-        break;
-      }
-
-  std::sort(Intervals.begin(), Intervals.end(),
-            [](const Interval &A, const Interval &B) {
-              if (A.Start != B.Start)
-                return A.Start < B.Start;
-              return A.R < B.R;
-            });
-  for (unsigned I = 0; I < Intervals.size(); ++I)
-    IntervalOf[Intervals[I].R.id()] = I;
-
-  CalleeUsed[0].assign(ArchLayout::NumCallee, false);
-  CalleeUsed[1].assign(ArchLayout::NumCallee, false);
-}
-
-void FuncAllocator::scan(RegClass RC) {
+void IncumbentFuncAllocator::scan(RegClass RC) {
   std::vector<bool> CallerFree(ArchLayout::NumCaller, true);
   std::vector<bool> CalleeFree(ArchLayout::NumCallee, true);
   std::vector<unsigned> Active; // Interval indices, unordered.
@@ -273,21 +56,10 @@ void FuncAllocator::scan(RegClass RC) {
     for (unsigned I = 0; I < ArchLayout::NumCallee; ++I)
       if (CalleeFree[I]) {
         CalleeFree[I] = false;
-        CalleeUsed[RC == RegClass::Fp][I] = true;
+        markCalleeUsed(RC, ArchLayout::CalleeBase + I);
         return ArchLayout::CalleeBase + I;
       }
     return ~0u;
-  };
-  auto IsCalleeIdx = [](unsigned ArchIdx) {
-    return ArchIdx >= ArchLayout::CalleeBase &&
-           ArchIdx < ArchLayout::CalleeBase + ArchLayout::NumCallee;
-  };
-
-  auto SpillInterval = [&](Interval &Iv) {
-    Iv.Spilled = true;
-    ++Result.SpilledIntervals;
-    if (SpillSlotOf[Iv.R.id()] == ~0u)
-      SpillSlotOf[Iv.R.id()] = NextSlot++;
   };
 
   for (unsigned IvIdx = 0; IvIdx < Intervals.size(); ++IvIdx) {
@@ -326,204 +98,42 @@ void FuncAllocator::scan(RegClass RC) {
     unsigned Victim = ~0u;
     for (unsigned A : Active) {
       const Interval &Act = Intervals[A];
-      if (Iv.CrossesCall && !IsCalleeIdx(Act.ArchIdx))
+      if (Iv.CrossesCall && !isCalleeIdx(Act.ArchIdx))
         continue;
       if (Victim == ~0u || Act.End > Intervals[Victim].End)
         Victim = A;
     }
     if (Victim != ~0u && Intervals[Victim].End > Iv.End) {
       Iv.ArchIdx = Intervals[Victim].ArchIdx;
-      if (IsCalleeIdx(Iv.ArchIdx))
-        CalleeUsed[RC == RegClass::Fp][Iv.ArchIdx - ArchLayout::CalleeBase] =
-            true;
-      SpillInterval(Intervals[Victim]);
+      if (isCalleeIdx(Iv.ArchIdx))
+        markCalleeUsed(RC, Iv.ArchIdx);
+      spillInterval(Intervals[Victim]);
       Intervals[Victim].ArchIdx = ~0u;
       Active.erase(std::find(Active.begin(), Active.end(), Victim));
       Active.push_back(IvIdx);
     } else {
-      SpillInterval(Iv);
+      spillInterval(Iv);
     }
   }
 }
 
-void FuncAllocator::rewrite() {
-  struct PendingInsert {
-    BasicBlock *BB;
-    size_t Pos; ///< Insert before this position.
-    size_t Seq;
-    std::unique_ptr<Instruction> I;
-  };
-  std::vector<PendingInsert> Inserts;
+class IncumbentAllocator final : public Allocator {
+public:
+  const char *name() const override { return "regalloc"; }
 
-  auto SpillLoad = [&](Reg Scratch, unsigned Slot) {
-    auto L = std::make_unique<Instruction>(Opcode::Lw);
-    L->setDef(Scratch);
-    L->mem() = MemOperand::frame(static_cast<int32_t>(Slot * 4));
-    return L;
-  };
-  auto SpillStore = [&](Reg Scratch, unsigned Slot) {
-    auto S = std::make_unique<Instruction>(Opcode::Sw);
-    S->uses() = {Scratch};
-    S->mem() = MemOperand::frame(static_cast<int32_t>(Slot * 4));
-    return S;
-  };
-
-  for (const auto &BB : F.blocks()) {
-    auto &Instrs = BB->instructions();
-    for (size_t Pos = 0; Pos < Instrs.size(); ++Pos) {
-      Instruction &I = *Instrs[Pos];
-
-      // Per-instruction scratch assignment for spilled registers.
-      std::map<uint32_t, Reg> ScratchOf;
-      unsigned NextScratch[2] = {0, 0};
-      auto ScratchFor = [&](Reg R) {
-        auto It = ScratchOf.find(R.id());
-        if (It != ScratchOf.end())
-          return It->second;
-        RegClass RC = F.regClass(R);
-        unsigned &N = NextScratch[RC == RegClass::Fp];
-        assert(N < ArchLayout::NumScratch && "out of spill scratch regs");
-        Reg S = archReg(RC, ArchLayout::ScratchBase + N++);
-        ScratchOf.emplace(R.id(), S);
-        return S;
-      };
-
-      auto MapUse = [&](Reg &R) {
-        if (IsPrecolored[R.id()])
-          return;
-        if (NeverDefined[R.id()]) {
-          R = archReg(F.regClass(R), ZeroReg);
-          return;
-        }
-        unsigned IvIdx = IntervalOf[R.id()];
-        assert(IvIdx != ~0u && "use of register without interval");
-        const Interval &Iv = Intervals[IvIdx];
-        if (!Iv.Spilled) {
-          R = archReg(Iv.RC, Iv.ArchIdx);
-          return;
-        }
-        Reg S = ScratchFor(R);
-        Inserts.push_back(PendingInsert{
-            BB.get(), Pos, Inserts.size(),
-            SpillLoad(S, SpillSlotOf[R.id()])});
-        ++Result.SpillCode;
-        R = S;
-      };
-
-      for (Reg &U : I.uses())
-        MapUse(U);
-      if (I.mem().Base.isValid())
-        MapUse(I.mem().Base);
-
-      if (I.def().isValid() && !IsPrecolored[I.def().id()]) {
-        Reg D = I.def();
-        unsigned IvIdx = IntervalOf[D.id()];
-        assert(IvIdx != ~0u && "def of register without interval");
-        const Interval &Iv = Intervals[IvIdx];
-        if (!Iv.Spilled) {
-          I.setDef(archReg(Iv.RC, Iv.ArchIdx));
-        } else {
-          Reg S = ScratchFor(D);
-          I.setDef(S);
-          Inserts.push_back(PendingInsert{
-              BB.get(), Pos + 1, Inserts.size(),
-              SpillStore(S, SpillSlotOf[D.id()])});
-          ++Result.SpillCode;
-        }
-      }
-    }
+  bool runOnFunction(sir::Function &F, ModuleAlloc &Out,
+                     analysis::AnalysisManager *AM,
+                     std::string &Error) override {
+    IncumbentFuncAllocator Alloc(F, Out, AM);
+    return Alloc.run(Error);
   }
-
-  std::stable_sort(Inserts.begin(), Inserts.end(),
-                   [](const PendingInsert &L, const PendingInsert &R) {
-                     if (L.BB != R.BB)
-                       return L.BB < R.BB;
-                     if (L.Pos != R.Pos)
-                       return L.Pos > R.Pos;
-                     return L.Seq > R.Seq;
-                   });
-  for (auto &Ins : Inserts)
-    Ins.BB->insertAt(Ins.Pos, std::move(Ins.I));
-}
-
-void FuncAllocator::insertCalleeSaves() {
-  // Allocate save slots for used callee-saved registers and insert the
-  // prologue stores / epilogue reloads.
-  std::vector<std::pair<Reg, unsigned>> Saves; // (arch reg, slot)
-  for (unsigned ClassIdx = 0; ClassIdx < 2; ++ClassIdx) {
-    RegClass RC = ClassIdx ? RegClass::Fp : RegClass::Int;
-    for (unsigned I = 0; I < ArchLayout::NumCallee; ++I) {
-      if (!CalleeUsed[ClassIdx][I])
-        continue;
-      Reg R = archReg(RC, ArchLayout::CalleeBase + I);
-      Saves.emplace_back(R, NextSlot++);
-      if (ClassIdx)
-        ++Result.CalleeSavedUsedFp;
-      else
-        ++Result.CalleeSavedUsedInt;
-    }
-  }
-  if (Saves.empty())
-    return;
-
-  BasicBlock *Entry = F.entry();
-  for (size_t S = Saves.size(); S-- > 0;) {
-    auto Store = std::make_unique<Instruction>(Opcode::Sw);
-    Store->uses() = {Saves[S].first};
-    Store->mem() = MemOperand::frame(static_cast<int32_t>(Saves[S].second * 4));
-    Entry->insertAt(0, std::move(Store));
-    ++Result.SpillCode;
-  }
-  for (const auto &BB : F.blocks()) {
-    auto &Instrs = BB->instructions();
-    for (size_t Pos = 0; Pos < Instrs.size(); ++Pos) {
-      if (Instrs[Pos]->op() != Opcode::Ret)
-        continue;
-      for (const auto &[R, Slot] : Saves) {
-        auto Load = std::make_unique<Instruction>(Opcode::Lw);
-        Load->setDef(R);
-        Load->mem() = MemOperand::frame(static_cast<int32_t>(Slot * 4));
-        BB->insertAt(Pos, std::move(Load));
-        ++Pos;
-        ++Result.SpillCode;
-      }
-    }
-  }
-}
-
-void FuncAllocator::finish() {
-  F.setFrameWords(std::max(F.frameWords(), NextSlot));
-  F.setAllocated(true);
-  F.renumber();
-
-  Result.SpillSlots = NextSlot - BaseSlots;
-  Result.ArchIndex.assign(F.numRegs(), ~0u);
-  for (const auto &[Key, R] : ArchRegs)
-    Result.ArchIndex[R.id()] = Key.second;
-  Out.Funcs.emplace(&F, std::move(Result));
-}
-
-bool FuncAllocator::run(std::string &Error) {
-  if (F.formals().size() > ArchLayout::NumArgRegs) {
-    Error = F.name() + ": more than " +
-            std::to_string(ArchLayout::NumArgRegs) + " formals";
-    return false;
-  }
-  // Spill slots start beyond any frame slots the source code already
-  // addresses with [frame+N].
-  NextSlot = BaseSlots = F.frameWords();
-  lowerCallingConvention();
-  SpillSlotOf.assign(F.numRegs(), ~0u);
-  buildIntervals();
-  scan(RegClass::Int);
-  scan(RegClass::Fp);
-  rewrite();
-  insertCalleeSaves();
-  finish();
-  return true;
-}
+};
 
 } // namespace
+
+std::unique_ptr<Allocator> regalloc::createIncumbentAllocator() {
+  return std::make_unique<IncumbentAllocator>();
+}
 
 unsigned ModuleAlloc::archIndexOf(const sir::Function *F, Reg R) const {
   auto It = Funcs.find(F);
@@ -534,22 +144,51 @@ unsigned ModuleAlloc::archIndexOf(const sir::Function *F, Reg R) const {
   return Idx;
 }
 
-ModuleAlloc regalloc::allocateModule(sir::Module &M,
-                                     analysis::AnalysisManager *AM) {
-  ModuleAlloc Result;
-  for (const auto &F : M.functions()) {
-    std::string Error;
-    // Lowering and rewriting mutate F around the analysis fetches, so
-    // bracket each function with invalidations: stale entries from
-    // earlier passes are dropped going in, and the allocator's own
-    // CFG / liveness results are dropped going out.
-    if (AM)
-      AM->invalidateFunction(*F);
-    FuncAllocator Alloc(*F, Result, AM);
-    if (!Alloc.run(Error))
-      Result.Errors.push_back(Error);
-    if (AM)
-      AM->invalidateFunction(*F);
-  }
-  return Result;
+unsigned ModuleAlloc::totalSpilledIntervals() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.SpilledIntervals;
+  return N;
+}
+
+unsigned ModuleAlloc::totalSpillSlots() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.SpillSlots;
+  return N;
+}
+
+unsigned ModuleAlloc::totalSpillLoads() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.SpillLoads;
+  return N;
+}
+
+unsigned ModuleAlloc::totalSpillStores() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.SpillStores;
+  return N;
+}
+
+unsigned ModuleAlloc::totalCalleeSaveStores() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.CalleeSaveStores;
+  return N;
+}
+
+unsigned ModuleAlloc::totalCalleeSaveRestores() const {
+  unsigned N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.CalleeSaveRestores;
+  return N;
+}
+
+double ModuleAlloc::totalWallMs() const {
+  double N = 0;
+  for (const auto &KV : Funcs)
+    N += KV.second.WallMs;
+  return N;
 }

@@ -24,6 +24,12 @@
 ///  * rewrites the function onto architectural registers and reports a
 ///    register -> (file, index) map for the timing simulator's renamer.
 ///
+/// Since the pluggable-backend refactor this header holds the shared
+/// vocabulary (ArchLayout, FuncAlloc, ModuleAlloc) plus the
+/// default-backend entry point; the backend interface and registry
+/// live in regalloc/Allocator.h, and the bullet list above is the
+/// contract every backend honors.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FPINT_REGALLOC_REGALLOC_H
@@ -62,22 +68,47 @@ struct FuncAlloc {
   unsigned CalleeSavedUsedFp = 0;
   /// Spill/reload/save/restore instructions inserted.
   unsigned SpillCode = 0;
+  /// The SpillCode split: reloads of spilled values, stores of spilled
+  /// defs, and prologue/epilogue callee-save traffic. The four always
+  /// sum to SpillCode.
+  unsigned SpillLoads = 0;
+  unsigned SpillStores = 0;
+  unsigned CalleeSaveStores = 0;
+  unsigned CalleeSaveRestores = 0;
+  /// Wall-clock of this function's allocation (informational, like
+  /// every wall_ms in the telemetry schema; never diffed as
+  /// deterministic).
+  double WallMs = 0.0;
 };
 
 /// Result of allocating a module.
 struct ModuleAlloc {
   std::unordered_map<const sir::Function *, FuncAlloc> Funcs;
   std::vector<std::string> Errors;
+  /// Registry name of the backend that produced this allocation
+  /// (empty only for a default-constructed result).
+  std::string AllocatorName;
 
   /// Architectural index of \p R in \p F's file; asserts it is mapped.
   unsigned archIndexOf(const sir::Function *F, sir::Reg R) const;
+
+  unsigned totalSpilledIntervals() const;
+  unsigned totalSpillSlots() const;
+  unsigned totalSpillLoads() const;
+  unsigned totalSpillStores() const;
+  unsigned totalCalleeSaveStores() const;
+  unsigned totalCalleeSaveRestores() const;
+  double totalWallMs() const;
 };
 
-/// Allocates every function of \p M in place. The module must verify
+/// Allocates every function of \p M in place with the default backend
+/// (see regalloc/Allocator.h for the pluggable-backend interface and
+/// allocateModuleWith for named selection). The module must verify
 /// cleanly; functions may have at most ArchLayout::NumArgRegs formals.
-/// When \p AM is non-null the per-function CFG and liveness are fetched
-/// through it; each function's cached analyses are invalidated around
-/// its allocation (the allocator rewrites the IR).
+/// When \p AM is non-null every analysis (CFG, liveness, live
+/// intervals) is fetched through it; each function's cached analyses
+/// are invalidated around its allocation (the allocator rewrites the
+/// IR).
 ModuleAlloc allocateModule(sir::Module &M,
                            analysis::AnalysisManager *AM = nullptr);
 

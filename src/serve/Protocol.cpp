@@ -3,8 +3,9 @@
 #include "serve/Protocol.h"
 
 #include "core/PassManager.h"
-#include "stats/Report.h"
 #include "core/RunCache.h"
+#include "regalloc/Allocator.h"
+#include "stats/Report.h"
 
 #include <cerrno>
 #include <cstring>
@@ -200,7 +201,7 @@ void parsePipelineObj(Validator &V, const Value &Obj,
   V.onlyKeys(Obj, "pipeline",
              {"scheme", "costs", "train_args", "ref_args",
               "run_register_allocation", "enable_fp_arg_passing",
-              "run_optimizations", "passes"});
+              "run_optimizations", "passes", "regalloc"});
   std::string Scheme;
   if (V.getString(Obj, "scheme", Scheme)) {
     if (Scheme == "none")
@@ -234,6 +235,10 @@ void parsePipelineObj(Validator &V, const Value &Obj,
     if (!core::parsePipeline(Cfg.Passes, Parsed, ParseErr))
       V.fail("bad 'passes' pipeline text: " + ParseErr);
   }
+  if (V.getString(Obj, "regalloc", Cfg.RegAllocator) &&
+      !Cfg.RegAllocator.empty() &&
+      !regalloc::AllocatorRegistry::global().contains(Cfg.RegAllocator))
+    V.fail("unknown 'regalloc' backend '" + Cfg.RegAllocator + "'");
 }
 
 void parseCacheObj(Validator &V, const Value &Obj, const char *What,
@@ -393,6 +398,12 @@ json::Value serve::okBody(const core::PipelineRun &Run,
   for (core::PassStat &P : Passes)
     P.WallMs = 0.0;
   Result.set("passes", stats::passStatsToJson(Passes));
+
+  if (!Run.Alloc.AllocatorName.empty()) {
+    stats::RegAllocSummary RA = stats::RegAllocSummary::of(Run.Alloc);
+    RA.WallMs = 0.0; // Volatile; keeps the body content-addressable.
+    Result.set("regalloc", stats::regAllocSummaryToJson(RA));
+  }
 
   if (Sim) {
     timing::SimStats S = *Sim;

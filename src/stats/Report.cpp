@@ -85,6 +85,38 @@ Value stats::pipelineConfigToJson(const core::PipelineConfig &C) {
   V.set("enable_fp_arg_passing", C.EnableFpArgPassing);
   V.set("run_optimizations", C.RunOptimizations);
   V.set("passes", C.Passes); // Explicit pipeline override ("" = default).
+  V.set("regalloc", C.RegAllocator); // Backend override ("" = incumbent).
+  return V;
+}
+
+RegAllocSummary RegAllocSummary::of(const regalloc::ModuleAlloc &A) {
+  RegAllocSummary S;
+  S.Allocator = A.AllocatorName;
+  for (const auto &KV : A.Funcs) {
+    ++S.Functions;
+    S.SpilledIntervals += KV.second.SpilledIntervals;
+    S.SpillSlots += KV.second.SpillSlots;
+    S.SpillLoads += KV.second.SpillLoads;
+    S.SpillStores += KV.second.SpillStores;
+    S.CalleeSaveStores += KV.second.CalleeSaveStores;
+    S.CalleeSaveRestores += KV.second.CalleeSaveRestores;
+    S.WallMs += KV.second.WallMs;
+  }
+  return S;
+}
+
+Value stats::regAllocSummaryToJson(const RegAllocSummary &S) {
+  Value V = Value::object();
+  V.set("allocator", S.Allocator);
+  V.set("functions", S.Functions);
+  V.set("spilled_intervals", S.SpilledIntervals);
+  V.set("spill_slots", S.SpillSlots);
+  V.set("spill_loads", S.SpillLoads);
+  V.set("spill_stores", S.SpillStores);
+  V.set("callee_save_stores", S.CalleeSaveStores);
+  V.set("callee_save_restores", S.CalleeSaveRestores);
+  // Informational, like every wall_ms in the schema.
+  V.set("wall_ms", S.WallMs);
   return V;
 }
 
@@ -321,6 +353,44 @@ DiffResult stats::diffReports(const Value &Base, const Value &Current,
                   " -> " + std::to_string(static_cast<long long>(CV)) + ")");
           }
         }
+      }
+    }
+
+    // Register-allocation telemetry: backend identity and spill
+    // footprint are deterministic for a fixed pipeline, so drift is a
+    // compile-side behaviour change. Baselines predating the
+    // "regalloc" object are skipped; wall_ms is informational like
+    // sim_wall_ms.
+    const Value *BA = BaseRun.find("regalloc");
+    const Value *CA = CurRun->find("regalloc");
+    if (BA && BA->isObject() && CA && CA->isObject()) {
+      const std::string BAlloc = BA->strOr("allocator", "");
+      const std::string CAlloc = CA->strOr("allocator", "");
+      if (BAlloc != CAlloc)
+        R.Problems.push_back("register allocator changed for " + Id +
+                             " ('" + BAlloc + "' -> '" + CAlloc + "')");
+      for (const char *Metric :
+           {"functions", "spilled_intervals", "spill_slots", "spill_loads",
+            "spill_stores", "callee_save_stores", "callee_save_restores"}) {
+        double BV = BA->numberOr(Metric, 0);
+        double CV = CA->numberOr(Metric, 0);
+        if (BV != CV)
+          R.Problems.push_back(
+              "regalloc " + std::string(Metric) + " changed for " + Id +
+              " (" + std::to_string(static_cast<long long>(BV)) + " -> " +
+              std::to_string(static_cast<long long>(CV)) + ")");
+      }
+      double BWallA = BA->numberOr("wall_ms", 0);
+      double CWallA = CA->numberOr("wall_ms", 0);
+      if (BWallA > 0 && CWallA > 0) {
+        MetricDelta D;
+        D.RunId = Id;
+        D.Metric = "regalloc_wall_ms";
+        D.Base = BWallA;
+        D.Current = CWallA;
+        D.DeltaPct = BWallA != 0 ? (CWallA - BWallA) / BWallA * 100.0 : 0.0;
+        D.Informational = true;
+        R.Deltas.push_back(std::move(D));
       }
     }
   }

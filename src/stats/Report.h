@@ -52,6 +52,30 @@ json::Value breakdownToJson(const StallBreakdown &B);
 /// name, wall ms, change count, and analysis cache counters per pass.
 json::Value passStatsToJson(const std::vector<core::PassStat> &Passes);
 
+/// Register-allocation telemetry of one run (the "regalloc" object):
+/// which backend ran and its spill/reload/save-restore footprint.
+/// Every field except WallMs is deterministic for a fixed pipeline
+/// and is gated by diffReports; WallMs is informational like
+/// sim_wall_ms.
+struct RegAllocSummary {
+  std::string Allocator; ///< Backend registry name ("" = regalloc absent).
+  unsigned Functions = 0;
+  unsigned SpilledIntervals = 0;
+  unsigned SpillSlots = 0;
+  unsigned SpillLoads = 0;
+  unsigned SpillStores = 0;
+  unsigned CalleeSaveStores = 0;
+  unsigned CalleeSaveRestores = 0;
+  double WallMs = 0.0;
+
+  /// Aggregates \p A; a default-constructed ModuleAlloc (regalloc
+  /// never ran) yields an invalid summary that is simply not emitted.
+  static RegAllocSummary of(const regalloc::ModuleAlloc &A);
+  bool valid() const { return !Allocator.empty(); }
+};
+
+json::Value regAllocSummaryToJson(const RegAllocSummary &S);
+
 /// The stable run identity used as the diff key:
 ///   <workload>/<scheme>/<machine-name>#<first 8 hex of fnv1a64(keys)>.
 std::string runId(const std::string &Workload,

@@ -12,7 +12,8 @@ void StatsRegistry::record(const std::string &Workload,
                            const timing::MachineConfig &Machine,
                            const timing::SimStats &Stats,
                            vm::TrapKind Trap,
-                           std::vector<core::PassStat> Passes) {
+                           std::vector<core::PassStat> Passes,
+                           RegAllocSummary RegAlloc) {
   RunRecord R;
   R.Id = runId(Workload, Pipeline, Machine);
   R.Workload = Workload;
@@ -21,6 +22,7 @@ void StatsRegistry::record(const std::string &Workload,
   R.Stats = Stats;
   R.Trap = Trap;
   R.Passes = std::move(Passes);
+  R.RegAlloc = std::move(RegAlloc);
   std::lock_guard<std::mutex> Lock(Mu);
   Records.emplace(R.Id, std::move(R)); // First record per id wins.
 }
@@ -48,6 +50,8 @@ json::Value StatsRegistry::reportJson(const std::string &BinaryName) const {
     Run.set("stats", simStatsToJson(R.Stats));
     if (!R.Passes.empty())
       Run.set("passes", passStatsToJson(R.Passes));
+    if (R.RegAlloc.valid())
+      Run.set("regalloc", regAllocSummaryToJson(R.RegAlloc));
     Runs.push(std::move(Run));
   }
   Doc.set("runs", std::move(Runs));

@@ -44,6 +44,9 @@ struct RunRecord {
   /// Per-pass compile telemetry of the run (emitted as the record's
   /// "passes" array; empty when the harness did not capture it).
   std::vector<core::PassStat> Passes;
+  /// Register-allocation telemetry (emitted as the record's "regalloc"
+  /// object; invalid when regalloc did not run or was not captured).
+  RegAllocSummary RegAlloc;
 };
 
 class StatsRegistry {
@@ -59,7 +62,8 @@ public:
               const timing::MachineConfig &Machine,
               const timing::SimStats &Stats,
               vm::TrapKind Trap = vm::TrapKind::None,
-              std::vector<core::PassStat> Passes = {});
+              std::vector<core::PassStat> Passes = {},
+              RegAllocSummary RegAlloc = {});
 
   size_t numRecords() const;
 

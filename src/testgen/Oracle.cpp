@@ -55,6 +55,26 @@ std::vector<VariantSpec> testgen::midendVariants() {
   return Variants;
 }
 
+std::vector<VariantSpec> testgen::regallocVariants() {
+  std::vector<VariantSpec> Variants;
+  auto Add = [&](const std::string &Allocator, partition::Scheme S) {
+    VariantSpec V;
+    V.Name = Allocator + ":" + partition::schemeName(S);
+    V.Config.RegAllocator = Allocator;
+    V.Config.Scheme = S;
+    V.Config.EnableFpArgPassing = S == partition::Scheme::Advanced;
+    V.Config.RunOptimizations = true;
+    V.Config.RunRegisterAllocation = true;
+    Variants.push_back(std::move(V));
+  };
+  for (const char *Allocator : {"regalloc", "regalloc-linear"})
+    for (partition::Scheme S :
+         {partition::Scheme::None, partition::Scheme::Basic,
+          partition::Scheme::Advanced})
+      Add(Allocator, S);
+  return Variants;
+}
+
 namespace {
 
 /// Everything observable about one functional execution.

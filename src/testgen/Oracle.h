@@ -59,6 +59,13 @@ std::vector<VariantSpec> defaultVariants();
 /// OracleOptions::Variants to differentially test the mid-end.
 std::vector<VariantSpec> midendVariants();
 
+/// The register-allocator variant battery: each registered allocator
+/// backend (incumbent "regalloc" and the Poletto-Sarkar
+/// "regalloc-linear") under the none/basic/advanced schemes, with the
+/// optimizer on and FP argument passing under advanced. Append these to
+/// OracleOptions::Variants to differentially race the allocators.
+std::vector<VariantSpec> regallocVariants();
+
 struct OracleOptions {
   std::vector<VariantSpec> Variants = defaultVariants();
   std::vector<int32_t> Args;      ///< main() arguments (train == ref).

@@ -1,6 +1,8 @@
 //===- tests/RegAllocTest.cpp - Linear-scan register allocation -----------===//
 
 #include "partition/Partitioner.h"
+#include "regalloc/Allocator.h"
+#include "regalloc/LiveIntervals.h"
 #include "regalloc/RegAlloc.h"
 #include "sir/Parser.h"
 #include "sir/Printer.h"
@@ -24,11 +26,13 @@ std::unique_ptr<Module> parseOrDie(const char *Src) {
   return std::move(PR.M);
 }
 
-/// Allocates a clone of \p M and checks verification + VM equivalence.
-std::unique_ptr<Module> allocateAndCheck(const Module &Original,
-                                         ModuleAlloc *OutAlloc = nullptr) {
+/// Allocates a clone of \p M with the named backend and checks
+/// verification + VM equivalence.
+std::unique_ptr<Module>
+allocateAndCheckWith(const std::string &Allocator, const Module &Original,
+                     ModuleAlloc *OutAlloc = nullptr) {
   auto M = Original.clone();
-  ModuleAlloc Alloc = allocateModule(*M);
+  ModuleAlloc Alloc = allocateModuleWith(Allocator, *M);
   EXPECT_TRUE(Alloc.Errors.empty()) << Alloc.Errors[0];
   auto Verify = verify(*M);
   EXPECT_TRUE(Verify.empty()) << Verify[0] << "\n" << toString(*M);
@@ -43,6 +47,12 @@ std::unique_ptr<Module> allocateAndCheck(const Module &Original,
   if (OutAlloc)
     *OutAlloc = std::move(Alloc);
   return M;
+}
+
+/// Default-backend form used by the incumbent's tests.
+std::unique_ptr<Module> allocateAndCheck(const Module &Original,
+                                         ModuleAlloc *OutAlloc = nullptr) {
+  return allocateAndCheckWith("", Original, OutAlloc);
 }
 
 TEST(RegAlloc, StraightLineCode) {
@@ -321,8 +331,9 @@ TEST_P(RegAllocProperty, RandomProgramsStayEquivalent) {
   auto OrigRun = vm::runModule(*PR.M);
   ASSERT_TRUE(OrigRun.Ok) << OrigRun.Error << "\n" << Src;
 
-  // Plain allocation.
+  // Plain allocation, under both registered backends.
   allocateAndCheck(*PR.M);
+  allocateAndCheckWith("regalloc-linear", *PR.M);
 
   // Partition (advanced), then allocate: the paper's full compilation
   // flow.
@@ -347,6 +358,358 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocProperty, ::testing::Range(0, 30));
 } // namespace
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// LiveIntervals: construction, AnalysisManager caching, invalidation.
+//===----------------------------------------------------------------------===//
+
+/// Builds LiveIntervals for \p Name directly (no manager).
+LiveIntervals buildIntervals(Module &M, const char *Name,
+                             Function **OutF = nullptr) {
+  Function *F = M.functionByName(Name);
+  EXPECT_NE(F, nullptr);
+  F->renumber();
+  analysis::CFG Cfg(*F);
+  Liveness Live(*F, Cfg);
+  if (OutF)
+    *OutF = F;
+  return LiveIntervals(*F, Cfg, Live);
+}
+
+TEST(LiveIntervals, StraightLineHulls) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 5
+  li %b, 7
+  add %c, %a, %b
+  out %c
+  ret
+}
+)");
+  Function *F = nullptr;
+  LiveIntervals LI = buildIntervals(*M, "main", &F);
+
+  // Positions are 2 apart in block order.
+  unsigned Prev = ~0u;
+  F->forEachInstr([&](const Instruction &I) {
+    unsigned P = LI.instrPos(I.id());
+    if (Prev != ~0u)
+      EXPECT_EQ(P, Prev + 2);
+    Prev = P;
+  });
+
+  // %a: defined by the first li, last used by the add; the hull spans
+  // exactly def..use and carries both event flags.
+  const Instruction *DefA = nullptr, *Add = nullptr;
+  F->forEachInstr([&](const Instruction &I) {
+    if (!DefA)
+      DefA = &I;
+    if (I.op() == Opcode::Add)
+      Add = &I;
+  });
+  ASSERT_NE(Add, nullptr);
+  const LiveIntervals::Range &A = LI.range(DefA->def());
+  EXPECT_EQ(A.Start, LI.instrPos(DefA->id()));
+  EXPECT_EQ(A.End, LI.instrPos(Add->id()));
+  EXPECT_TRUE(A.Defined);
+  EXPECT_TRUE(A.Used);
+  EXPECT_FALSE(A.CrossesCall);
+  EXPECT_TRUE(LI.callPositions().empty());
+}
+
+TEST(LiveIntervals, CallCrossingIsStrictlyInside) {
+  auto M = parseOrDie(R"(
+func leaf(%x) {
+entry:
+  addi %r, %x, 1
+  ret %r
+}
+
+func main() {
+entry:
+  li %keep, 100
+  li %dead, 1
+  out %dead
+  call %t, leaf(%dead)
+  add %s, %keep, %t
+  out %s
+  ret
+}
+)");
+  Function *F = nullptr;
+  LiveIntervals LI = buildIntervals(*M, "main", &F);
+  ASSERT_EQ(LI.callPositions().size(), 1u);
+
+  const Instruction *DefKeep = nullptr, *Call = nullptr;
+  F->forEachInstr([&](const Instruction &I) {
+    if (!DefKeep)
+      DefKeep = &I;
+    if (I.op() == Opcode::Call)
+      Call = &I;
+  });
+  ASSERT_NE(Call, nullptr);
+  // %keep is defined before and used after the call: crossing.
+  EXPECT_TRUE(LI.range(DefKeep->def()).CrossesCall);
+  // %dead's last use is the call itself (an endpoint, not strictly
+  // inside), and the call's own def starts at the call: no crossing.
+  EXPECT_FALSE(LI.range(Call->uses()[0]).CrossesCall);
+  EXPECT_FALSE(LI.range(Call->def()).CrossesCall);
+}
+
+TEST(LiveIntervals, CachedAndInvalidatedThroughManager) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 1
+  out %a
+  ret
+}
+)");
+  Function *F = M->functionByName("main");
+  F->renumber();
+  analysis::AnalysisManager AM;
+
+  const LiveIntervals &First = AM.getResult<LiveIntervalsAnalysis>(*F);
+  const LiveIntervals &Again = AM.getResult<LiveIntervalsAnalysis>(*F);
+  EXPECT_EQ(&First, &Again);
+
+  // One miss each for live-intervals and its cfg/liveness inputs; the
+  // second fetch is a pure hit.
+  const auto &ByName = AM.countersByAnalysis();
+  EXPECT_EQ(ByName.at("live-intervals").Misses, 1u);
+  EXPECT_EQ(ByName.at("live-intervals").Hits, 1u);
+  EXPECT_EQ(ByName.at("cfg").Misses, 1u);
+  EXPECT_EQ(ByName.at("liveness").Misses, 1u);
+
+  // Function-level invalidation recomputes everything.
+  AM.invalidateFunction(*F);
+  AM.getResult<LiveIntervalsAnalysis>(*F);
+  EXPECT_EQ(AM.countersByAnalysis().at("live-intervals").Misses, 2u);
+  EXPECT_EQ(AM.countersByAnalysis().at("cfg").Misses, 2u);
+}
+
+TEST(LiveIntervals, DependencyInvalidationCascades) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 1
+  out %a
+  ret
+}
+)");
+  Function *F = M->functionByName("main");
+  F->renumber();
+  analysis::AnalysisManager AM;
+  AM.getResult<LiveIntervalsAnalysis>(*F);
+
+  // A pass that preserves live-intervals by name but not liveness
+  // still drops the intervals: they depended on a dropped entry.
+  analysis::PreservedAnalyses PA;
+  PA.preserve<LiveIntervalsAnalysis>();
+  PA.preserve<analysis::CFGAnalysis>();
+  AM.invalidate(PA);
+  AM.getResult<LiveIntervalsAnalysis>(*F);
+  const auto &ByName = AM.countersByAnalysis();
+  EXPECT_EQ(ByName.at("live-intervals").Misses, 2u);
+  // The preserved CFG survived and was a hit on recompute.
+  EXPECT_EQ(ByName.at("cfg").Misses, 1u);
+  EXPECT_GE(ByName.at("cfg").Hits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// AllocatorRegistry and backend selection.
+//===----------------------------------------------------------------------===//
+
+TEST(AllocatorRegistry, BuiltinBackendsAreRegistered) {
+  AllocatorRegistry &R = AllocatorRegistry::global();
+  EXPECT_TRUE(R.contains("regalloc"));
+  EXPECT_TRUE(R.contains("regalloc-linear"));
+  EXPECT_FALSE(R.contains("regalloc-graph-color"));
+  auto Inc = R.create("regalloc");
+  ASSERT_NE(Inc, nullptr);
+  EXPECT_STREQ(Inc->name(), "regalloc");
+  auto Lin = R.create("regalloc-linear");
+  ASSERT_NE(Lin, nullptr);
+  EXPECT_STREQ(Lin->name(), "regalloc-linear");
+  EXPECT_EQ(R.create("regalloc-graph-color"), nullptr);
+}
+
+TEST(AllocatorRegistry, UnknownBackendErrorsCleanly) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 1
+  out %a
+  ret
+}
+)");
+  ModuleAlloc Alloc = allocateModuleWith("regalloc-bogus", *M);
+  ASSERT_EQ(Alloc.Errors.size(), 1u);
+  EXPECT_NE(Alloc.Errors[0].find("regalloc-bogus"), std::string::npos);
+  EXPECT_TRUE(Alloc.Funcs.empty());
+  // The module was not touched: still allocatable by a real backend.
+  allocateAndCheck(*M);
+}
+
+TEST(AllocatorRegistry, EmptyNameSelectsDefault) {
+  auto M = parseOrDie(R"(
+func main() {
+entry:
+  li %a, 1
+  out %a
+  ret
+}
+)");
+  auto C = M->clone();
+  ModuleAlloc Alloc = allocateModuleWith("", *C);
+  EXPECT_TRUE(Alloc.Errors.empty());
+  EXPECT_EQ(Alloc.AllocatorName, std::string(defaultAllocatorName()));
+}
+
+//===----------------------------------------------------------------------===//
+// Linear scan ("regalloc-linear"): same contract, different policy.
+//===----------------------------------------------------------------------===//
+
+TEST(LinearScan, SpillsAtExhaustion) {
+  // Same high-pressure program as the incumbent's spill test: 30
+  // block-spanning integer intervals overflow the 24 allocatable
+  // registers under any policy.
+  std::string Src = "func main() {\nentry:\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  li %v" + std::to_string(I) + ", " + std::to_string(I * 3 + 1) +
+           "\n";
+  Src += "  li %acc, 0\n";
+  for (int I = 29; I >= 0; --I)
+    Src += "  add %acc, %acc, %v" + std::to_string(I) + "\n";
+  Src += "  out %acc\n  ret\n}\n";
+
+  ParseResult PR = parseModule(Src);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheckWith("regalloc-linear", *PR.M, &Alloc);
+  EXPECT_EQ(Alloc.AllocatorName, "regalloc-linear");
+  const FuncAlloc &FA = Alloc.Funcs.at(A->functionByName("main"));
+  EXPECT_GT(FA.SpilledIntervals, 0u);
+  EXPECT_GT(FA.SpillCode, 0u);
+  EXPECT_GT(FA.SpillSlots, 0u);
+  EXPECT_EQ(FA.SpillLoads + FA.SpillStores + FA.CalleeSaveStores +
+                FA.CalleeSaveRestores,
+            FA.SpillCode);
+}
+
+TEST(LinearScan, CallCrossersTakeCalleeSavedOrSpill) {
+  auto M = parseOrDie(R"(
+func leaf(%x) {
+entry:
+  addi %r, %x, 1
+  ret %r
+}
+
+func main() {
+entry:
+  li %keep, 1000
+  li %i, 0
+loop:
+  call %t, leaf(%i)
+  add %keep, %keep, %t
+  addi %i, %i, 1
+  slti %c, %i, 10
+  bne %c, %zero, loop
+  out %keep
+  ret
+}
+)");
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheckWith("regalloc-linear", *M, &Alloc);
+  const FuncAlloc &FA = Alloc.Funcs.at(A->functionByName("main"));
+  // %keep and %i cross the call: they land in callee-saved registers
+  // (saved and restored) or spill -- never in a caller-saved register.
+  EXPECT_TRUE(FA.CalleeSavedUsedInt > 0 || FA.SpilledIntervals > 0);
+  EXPECT_GT(FA.SpillCode, 0u);
+}
+
+TEST(LinearScan, ClassesAllocateFromSeparateFiles) {
+  const char *Src = R"(
+global vec 8 = 0 0 0 0 0 0 0 0
+
+func main() {
+entry:
+  li %i, 0
+  fli %sum, 0.0
+loop:
+  cp_to_fp %fb, %i
+  cvtif %fi, %fb
+  fmul %sq, %fi, %fi
+  fadd %sum, %sum, %sq
+  sll %off, %i, 2
+  la %vp, vec
+  add %ea, %vp, %off
+  s.s %sq, 0(%ea)
+  addi %i, %i, 1
+  slti %t, %i, 8
+  bne %t, %zero, loop
+  cp_to_int %bits, %sum
+  out %bits
+  ret
+}
+)";
+  auto M = parseOrDie(Src);
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheckWith("regalloc-linear", *M, &Alloc);
+  // Every FP-class register maps into the FP file's index space and
+  // every INT-class one into the INT file's; the verifier has already
+  // checked operand classes, so here we only need the map to be total.
+  const Function *F = A->functionByName("main");
+  F->forEachInstr([&](const Instruction &I) {
+    if (I.def().isValid())
+      EXPECT_LT(Alloc.archIndexOf(F, I.def()), ArchLayout::FileSize);
+  });
+}
+
+TEST(LinearScan, FpaPartitionConstraintsHonored) {
+  // Partition first (advanced), then linear-scan allocate: FPa
+  // operands are RegClass::Fp and must come out of the FP file.
+  auto Original = parseOrDie(fixtures::InvalidateForCall);
+  auto M = Original->clone();
+  vm::VM::Options ProfOpts;
+  ProfOpts.CollectProfile = true;
+  vm::VM Prof(*M, ProfOpts);
+  ASSERT_TRUE(Prof.run().Ok);
+  auto RW = partition::partitionModule(*M, partition::Scheme::Advanced,
+                                       &Prof.profile());
+  ASSERT_TRUE(RW.Errors.empty());
+
+  ModuleAlloc Alloc;
+  auto A = allocateAndCheckWith("regalloc-linear", *M, &Alloc);
+  const Function *F = A->functionByName("main");
+  unsigned FpaOps = 0;
+  F->forEachInstr([&](const Instruction &I) {
+    if (!I.inFpa())
+      return;
+    ++FpaOps;
+    if (I.def().isValid()) {
+      EXPECT_EQ(F->regClass(I.def()), RegClass::Fp);
+    }
+  });
+  EXPECT_GT(FpaOps, 0u);
+}
+
+TEST(LinearScan, PaperCorpusEquivalentUnderBothBackends) {
+  for (const char *Src : {fixtures::IntVectorSum, fixtures::InvalidateForCall,
+                          fixtures::MemoryFreeRand}) {
+    auto Original = parseOrDie(Src);
+    auto BaseRun = vm::runModule(*Original);
+    ASSERT_TRUE(BaseRun.Ok) << BaseRun.Error;
+    for (const char *Backend : {"regalloc", "regalloc-linear"}) {
+      auto A = allocateAndCheckWith(Backend, *Original);
+      auto Run = vm::runModule(*A);
+      ASSERT_TRUE(Run.Ok) << Backend << ": " << Run.Error;
+      EXPECT_EQ(Run.Output, BaseRun.Output) << Backend;
+      EXPECT_EQ(Run.ExitValue, BaseRun.ExitValue) << Backend;
+    }
+  }
+}
 
 TEST(ArchLayout, RegionsPartitionTheFile) {
   // Argument, return, caller-saved, callee-saved, scratch, and zero

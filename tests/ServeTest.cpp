@@ -191,6 +191,12 @@ TEST(ParseRequest, RejectsBadValuesAndMissingModule) {
   EXPECT_FALSE(parseRequest("{\"op\": \"compile\", \"module\": \"m\", "
                             "\"machine\": {\"base\": \"16-way\"}}",
                             Req, Err));
+  // The regalloc backend must name a registered allocator.
+  Err.clear();
+  EXPECT_FALSE(parseRequest("{\"op\": \"compile\", \"module\": \"m\", "
+                            "\"pipeline\": {\"regalloc\": \"turbo\"}}",
+                            Req, Err));
+  EXPECT_NE(Err.find("turbo"), std::string::npos);
   // 'module' is compile-only.
   EXPECT_FALSE(parseRequest("{\"op\": \"ping\", \"module\": \"m\"}", Req,
                             Err));
@@ -203,6 +209,7 @@ TEST(ParseRequest, AcceptsFullCompileRequest) {
       "{\"op\": \"compile\", \"module\": \"func main() {}\", "
       "\"name\": \"demo\", "
       "\"pipeline\": {\"scheme\": \"advanced\", "
+      "\"regalloc\": \"regalloc-linear\", "
       "\"costs\": {\"copy_overhead\": 2.5}, \"ref_args\": [3, 4]}, "
       "\"machine\": {\"base\": \"8-way\", \"fp_units\": 3}, "
       "\"simulate\": false}",
@@ -211,6 +218,7 @@ TEST(ParseRequest, AcceptsFullCompileRequest) {
   EXPECT_EQ(Req.Op, RequestOp::Compile);
   EXPECT_EQ(Req.Name, "demo");
   EXPECT_EQ(Req.Pipeline.Scheme, partition::Scheme::Advanced);
+  EXPECT_EQ(Req.Pipeline.RegAllocator, "regalloc-linear");
   EXPECT_EQ(Req.Pipeline.Costs.CopyOverhead, 2.5);
   ASSERT_EQ(Req.Pipeline.RefArgs.size(), 2u);
   EXPECT_EQ(Req.Pipeline.RefArgs[1], 4);

@@ -85,6 +85,9 @@ void usage() {
       "  --passes TEXT        add a variant compiling with the given pass\n"
       "                       pipeline text (repeatable; see docs/PASSES.md;\n"
       "                       checked against the unpartitioned baseline)\n"
+      "  --regalloc           add the register-allocator battery: both\n"
+      "                       backends (regalloc, regalloc-linear) under\n"
+      "                       the none/basic/advanced schemes\n"
       "  --midend             add the mid-end variant battery: gvn, licm,\n"
       "                       unroll, unroll<4>, inline each alone, plus the\n"
       "                       full opt2 preset (see docs/TRANSFORMS.md)\n"
@@ -341,6 +344,7 @@ int main(int argc, char **argv) {
   std::string Preset; // Empty: cycle through all presets.
   std::vector<std::string> PassTexts; // Extra --passes variants.
   bool Midend = false;                // Append testgen::midendVariants().
+  bool RegAlloc = false;              // Append testgen::regallocVariants().
   std::string ReproDir = "tests/corpus/regressions";
   std::string JournalDir;
   uint64_t BatchSize = 100;
@@ -384,6 +388,8 @@ int main(int argc, char **argv) {
       PassTexts.push_back(Value());
     else if (!std::strcmp(Arg, "--midend"))
       Midend = true;
+    else if (!std::strcmp(Arg, "--regalloc"))
+      RegAlloc = true;
     else if (!std::strcmp(Arg, "--keep-going"))
       KeepGoing = true;
     else if (!std::strcmp(Arg, "--emit"))
@@ -427,6 +433,12 @@ int main(int argc, char **argv) {
                                std::make_move_iterator(MV.begin()),
                                std::make_move_iterator(MV.end()));
   }
+  if (RegAlloc) {
+    std::vector<testgen::VariantSpec> RV = testgen::regallocVariants();
+    OracleOpts.Variants.insert(OracleOpts.Variants.end(),
+                               std::make_move_iterator(RV.begin()),
+                               std::make_move_iterator(RV.end()));
+  }
   FuzzStats Stats;
   std::map<std::string, uint64_t> Buckets;
   int Exit = 0;
@@ -451,6 +463,10 @@ int main(int argc, char **argv) {
     for (const std::string &Text : PassTexts)
       Fold("passes:" + Text);
     Fold(std::to_string(Midend));
+    // Folded only when on so pre-existing campaign journals keep their
+    // identity (the flag did not exist when they were written).
+    if (RegAlloc)
+      Fold("regalloc");
     Fold(std::to_string(CheckTiming));
     Fold(std::to_string(BatchSize));
     const std::string CampaignKey = support::hex64(KeyH);

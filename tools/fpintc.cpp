@@ -25,6 +25,7 @@
 #include "partition/AdvancedPartitioner.h"
 #include "partition/BasicPartitioner.h"
 #include "partition/DotExport.h"
+#include "regalloc/Allocator.h"
 #include "sir/Parser.h"
 #include "sir/Printer.h"
 #include "support/Table.h"
@@ -58,6 +59,8 @@ void usage() {
       "  --odupl=N            duplication overhead o_dupl (default 2.5)\n"
       "  --fpa-cap=F          load-balance cap on the FPa share (6.6)\n"
       "  --no-regalloc        stop before register allocation\n"
+      "  --regalloc=NAME      register-allocator backend (regalloc |\n"
+      "                       regalloc-linear; default regalloc)\n"
       "  --args=a,b           main() arguments for measurement runs\n"
       "  --train-args=a,b     main() arguments for the profiling run\n"
       "  --passes=TEXT        explicit pass pipeline (comma-separated\n"
@@ -108,7 +111,7 @@ int main(int argc, char **argv) {
   bool DoPrint = false, DoRun = false, DoStats = false, RegAlloc = true;
   bool TimePasses = false;
   unsigned TraceCount = 0;
-  std::string DotFunc, SimMachine, Passes, PrintAfter;
+  std::string DotFunc, SimMachine, Passes, PrintAfter, RegAllocator;
   std::vector<int32_t> Args, TrainArgs;
   bool TrainArgsSet = false;
 
@@ -153,6 +156,17 @@ int main(int argc, char **argv) {
       Costs.FpaShareCap = std::atof(V);
     } else if (const char *V = Value("--passes=")) {
       Passes = V;
+    } else if (const char *V = Value("--regalloc=")) {
+      if (!regalloc::AllocatorRegistry::global().contains(V)) {
+        std::fprintf(stderr, "fpintc: unknown register allocator '%s'", V);
+        std::fprintf(stderr, " (known:");
+        for (const std::string &Name :
+             regalloc::AllocatorRegistry::global().names())
+          std::fprintf(stderr, " %s", Name.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      RegAllocator = V;
     } else if (const char *V = Value("--print-after=")) {
       PrintAfter = V;
     } else if (const char *V = Value("--dot=")) {
@@ -245,6 +259,7 @@ int main(int argc, char **argv) {
   Cfg.TrainArgs = TrainArgs;
   Cfg.RefArgs = Args;
   Cfg.RunRegisterAllocation = RegAlloc;
+  Cfg.RegAllocator = RegAllocator;
   if (!Passes.empty()) {
     // Validate up front for a friendly diagnostic; compileAndMeasure
     // re-parses the same text.
